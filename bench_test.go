@@ -1,0 +1,97 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark wraps the corresponding experiment runner
+// (internal/experiments) in its Quick configuration, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the complete reproduction pipeline: offline profiling,
+// drift detection, scheduling, serving, and metric collection. Use
+// cmd/repro for the full-scale (10-period) artifacts.
+package main
+
+import (
+	"testing"
+
+	"adainf/internal/experiments"
+)
+
+func benchArtifact(b *testing.B, fn func(experiments.Options) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := fn(experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 && len(res.Tables) == 0 {
+			b.Fatalf("%s produced no output", res.ID)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: accuracy with vs without
+// retraining, and Ekya's updated-model fraction.
+func BenchmarkFig4(b *testing.B) { benchArtifact(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates Fig. 5: per-model accuracy under drift.
+func BenchmarkFig5(b *testing.B) { benchArtifact(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates Fig. 6: JS divergence of label
+// distributions across periods.
+func BenchmarkFig6(b *testing.B) { benchArtifact(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Fig. 7: early-exit structures with
+// incremental retraining vs the alternatives.
+func BenchmarkFig7(b *testing.B) { benchArtifact(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates Fig. 8: per-batch and worst-case latency
+// per request batch size.
+func BenchmarkFig8(b *testing.B) { benchArtifact(b, experiments.Fig8) }
+
+// BenchmarkFig9 regenerates Fig. 9: worst-case latency across batch
+// sizes and GPU-space fractions.
+func BenchmarkFig9(b *testing.B) { benchArtifact(b, experiments.Fig9) }
+
+// BenchmarkFig10 regenerates Fig. 10: worst-case latency across batch
+// sizes and early-exit structures.
+func BenchmarkFig10(b *testing.B) { benchArtifact(b, experiments.Fig10) }
+
+// BenchmarkFig11 regenerates Fig. 11: per-batch latency decomposition
+// into communication and computation.
+func BenchmarkFig11(b *testing.B) { benchArtifact(b, experiments.Fig11) }
+
+// BenchmarkFig12 regenerates Fig. 12: reuse-time CDFs of memory
+// contents by type and across DAG tasks.
+func BenchmarkFig12(b *testing.B) { benchArtifact(b, experiments.Fig12) }
+
+// BenchmarkFig13 regenerates Fig. 13: cross-job parameter reuse CDF.
+func BenchmarkFig13(b *testing.B) { benchArtifact(b, experiments.Fig13) }
+
+// BenchmarkFig18 regenerates Fig. 18: accuracy comparison over time,
+// application count, and GPU count.
+func BenchmarkFig18(b *testing.B) { benchArtifact(b, experiments.Fig18) }
+
+// BenchmarkFig19 regenerates Fig. 19: finish-rate comparison across the
+// same sweeps.
+func BenchmarkFig19(b *testing.B) { benchArtifact(b, experiments.Fig19) }
+
+// BenchmarkFig20 regenerates Fig. 20: average retraining and inference
+// latency per method.
+func BenchmarkFig20(b *testing.B) { benchArtifact(b, experiments.Fig20) }
+
+// BenchmarkFig21 regenerates Fig. 21: GPU utilization per method.
+func BenchmarkFig21(b *testing.B) { benchArtifact(b, experiments.Fig21) }
+
+// BenchmarkFig22 regenerates Fig. 22: the AdaInf ablation variants.
+func BenchmarkFig22(b *testing.B) { benchArtifact(b, experiments.Fig22) }
+
+// BenchmarkFig23 regenerates Fig. 23: the α sweep.
+func BenchmarkFig23(b *testing.B) { benchArtifact(b, experiments.Fig23) }
+
+// BenchmarkFig24 regenerates Fig. 24: the A_m sweep.
+func BenchmarkFig24(b *testing.B) { benchArtifact(b, experiments.Fig24) }
+
+// BenchmarkTable1 regenerates Table 1: per-method time overheads.
+func BenchmarkTable1(b *testing.B) { benchArtifact(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates Table 2: the S-growth determination.
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, experiments.Table2) }

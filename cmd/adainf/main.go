@@ -1,0 +1,135 @@
+// Command adainf runs one edge-serving simulation and reports the §5
+// metrics. It is the quickest way to compare scheduling methods on a
+// custom setup.
+//
+// Usage:
+//
+//	adainf -method adainf -gpus 4 -apps 8 -rate 250 -horizon 500s
+//
+// Methods: adainf, adainf/i, adainf/u, adainf/s, adainf/e, adainf/m1,
+// adainf/m2, ekya, scrooge, scrooge*, none (no retraining).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/baselines"
+	"adainf/internal/core"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/mathx"
+	"adainf/internal/sched"
+	"adainf/internal/serving"
+)
+
+func main() {
+	var (
+		methodName = flag.String("method", "adainf", "scheduling method (adainf, adainf/i, adainf/u, adainf/s, adainf/e, adainf/m1, adainf/m2, ekya, scrooge, scrooge*, none)")
+		gpus       = flag.Float64("gpus", 4, "edge server GPU count")
+		nApps      = flag.Int("apps", 8, "number of concurrent applications")
+		rate       = flag.Float64("rate", 250, "mean request rate per application (req/s)")
+		horizon    = flag.Duration("horizon", 500*time.Second, "simulated duration")
+		seed       = flag.Int64("seed", 1, "random seed")
+		pool       = flag.Int("pool", 8000, "retraining pool per model per period")
+		alpha      = flag.Float64("alpha", 0.4, "priority-eviction weight α (§3.4.2)")
+		verbose    = flag.Bool("v", false, "print per-period series")
+	)
+	flag.Parse()
+
+	apps, err := app.CatalogN(*nApps)
+	if err != nil {
+		fatal(err)
+	}
+	method, strat, policy, retrain, divergent, err := buildMethod(*methodName, *alpha)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("profiling %d applications offline...\n", len(apps))
+	start := time.Now()
+	profiles, err := serving.BuildProfiles(apps, strat, policy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiles ready in %v; simulating %v of serving...\n", time.Since(start).Round(time.Millisecond), *horizon)
+
+	start = time.Now()
+	res, err := serving.Run(serving.Config{
+		Apps:               apps,
+		Method:             method,
+		GPUs:               *gpus,
+		Horizon:            *horizon,
+		Seed:               *seed,
+		RatePerApp:         *rate,
+		Retraining:         retrain,
+		DivergentSelection: divergent,
+		MemStrategy:        strat,
+		NewPolicy:          policy,
+		PoolSamples:        *pool,
+		Profiles:           profiles,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%s on %g GPUs, %d apps, %.0f req/s/app, %v horizon (wall %v)\n",
+		res.Method, *gpus, *nApps, *rate, *horizon, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  accuracy:        %.1f%%\n", res.MeanAccuracy*100)
+	fmt.Printf("  finish rate:     %.1f%%\n", res.MeanFinishRate*100)
+	fmt.Printf("  GPU utilization: %.0f%%\n", mathx.MeanOf(res.UtilizationPerSec)*100)
+	fmt.Printf("  inference/job:   %.1f ms\n", res.MeanInferLatencyMs)
+	fmt.Printf("  retraining/job:  %.1f ms\n", res.MeanRetrainLatencyMs)
+	fmt.Printf("  requests served: %d in %d jobs\n", res.Requests, res.Jobs)
+	if res.EdgeCloudBytes > 0 {
+		fmt.Printf("  edge-cloud:      %.1f GB in %.1fs per period\n",
+			float64(res.EdgeCloudBytes)/1e9, res.EdgeCloudTransfer.Seconds())
+	}
+	if *verbose {
+		fmt.Println("\nper-period accuracy:")
+		for p, a := range res.PeriodAccuracy {
+			fmt.Printf("  period %2d: %.3f\n", p, a)
+		}
+	}
+}
+
+func buildMethod(name string, alpha float64) (sched.Method, gpu.Strategy, func() gpumem.Policy, bool, bool, error) {
+	adaStrat := gpu.Strategy{MaximizeUsage: true}
+	adaPolicy := func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: alpha} }
+	switch strings.ToLower(name) {
+	case "adainf":
+		return core.New(core.Options{}), adaStrat, adaPolicy, true, true, nil
+	case "adainf/i":
+		return core.New(core.Options{EqualRetrainSplit: true, Label: "AdaInf/I"}), adaStrat, adaPolicy, true, true, nil
+	case "adainf/u":
+		return core.New(core.Options{NoDAGUpdate: true, Label: "AdaInf/U"}), adaStrat, adaPolicy, true, true, nil
+	case "adainf/s":
+		return core.New(core.Options{EqualSpaceSplit: true, Label: "AdaInf/S"}), adaStrat, adaPolicy, true, true, nil
+	case "adainf/e":
+		return core.New(core.Options{FullStructureOnly: true, Label: "AdaInf/E"}), adaStrat, adaPolicy, true, true, nil
+	case "adainf/m1":
+		return core.New(core.Options{Label: "AdaInf/M1"}), gpu.Strategy{MaximizeUsage: false}, adaPolicy, true, true, nil
+	case "adainf/m2":
+		return core.New(core.Options{Label: "AdaInf/M2"}), adaStrat,
+			func() gpumem.Policy { return gpumem.LRUPolicy{} }, true, true, nil
+	case "ekya":
+		return baselines.NewEkya(), adaStrat, adaPolicy, true, false, nil
+	case "scrooge":
+		return baselines.NewScrooge(false), adaStrat, adaPolicy, true, false, nil
+	case "scrooge*":
+		return baselines.NewScrooge(true), adaStrat, adaPolicy, true, false, nil
+	case "none":
+		return core.New(core.Options{Label: "w/o retraining"}), adaStrat, adaPolicy, false, false, nil
+	default:
+		return nil, gpu.Strategy{}, nil, false, false, fmt.Errorf("unknown method %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adainf:", err)
+	os.Exit(1)
+}

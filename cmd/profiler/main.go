@@ -1,0 +1,81 @@
+// Command profiler runs AdaInf's offline profiling (§3.3, §6) for an
+// application and dumps the per-structure latency grid, the fitted
+// scaling laws, the retraining costs, and the per-data-type reuse-time
+// means that seed the priority eviction policy.
+//
+// Usage:
+//
+//	profiler -app video-surveillance
+//	profiler -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/profile"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "video-surveillance", "application to profile")
+		list    = flag.Bool("list", false, "list available applications and exit")
+		alpha   = flag.Float64("alpha", 0.4, "priority-eviction weight α")
+	)
+	flag.Parse()
+
+	catalog := app.Catalog()
+	if *list {
+		for _, a := range catalog {
+			fmt.Printf("%-20s SLO %v, %d models\n", a.Name, a.SLO, len(a.Nodes))
+		}
+		return
+	}
+	var target *app.App
+	for _, a := range catalog {
+		if a.Name == *appName {
+			target = a
+		}
+	}
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "profiler: unknown app %q (use -list)\n", *appName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	ap, err := profile.BuildAppProfile(target, profile.Config{
+		Strategy:  gpu.Strategy{MaximizeUsage: true},
+		NewPolicy: func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: *alpha} },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiler:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profiled %q in %v\n\n", target.Name, time.Since(start).Round(time.Millisecond))
+
+	for _, node := range target.Nodes {
+		fmt.Printf("## %s (%s)\n", node.Name, node.Model)
+		for _, sp := range ap.Structures[node.Name] {
+			fmt.Printf("  %-28s", sp.Structure.String())
+			for _, b := range sp.Batches() {
+				cell := sp.Points[b][1.0]
+				fmt.Printf("  b%-2d=%6.2fms", b, cell.PerBatch.Seconds()*1e3)
+			}
+			law := sp.Scaling[sp.Batches()[0]]
+			fmt.Printf("   scaling latency∝f^%.2f\n", law.B)
+		}
+		rp := ap.Retrain[node.Name]
+		fmt.Printf("  retraining: %.2f ms/sample at full GPU, %.2f ms/sample at 25%%\n\n",
+			rp.PerSample[1.0].Seconds()*1e3, rp.PerSample[0.25].Seconds()*1e3)
+	}
+
+	fmt.Println("## per-data-type reuse time means (ms), seeds for S_c = (1-α)·R_c + α·L_s")
+	for class, mean := range ap.TypeReuse {
+		fmt.Printf("  %-26s %8.3f\n", class.String(), mean)
+	}
+}

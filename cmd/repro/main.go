@@ -1,0 +1,121 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro [flags] <artifact>...
+//	repro all
+//
+// Artifacts: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2.
+//
+// Each artifact prints labelled series and tables matching the paper's
+// figure, plus notes comparing the measured shape to the published one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"adainf/internal/experiments"
+)
+
+var runners = map[string]func(experiments.Options) (*experiments.Result, error){
+	"fig4":   experiments.Fig4,
+	"fig5":   experiments.Fig5,
+	"fig6":   experiments.Fig6,
+	"fig7":   experiments.Fig7,
+	"fig8":   experiments.Fig8,
+	"fig9":   experiments.Fig9,
+	"fig10":  experiments.Fig10,
+	"fig11":  experiments.Fig11,
+	"fig12":  experiments.Fig12,
+	"fig13":  experiments.Fig13,
+	"fig18":  experiments.Fig18,
+	"fig19":  experiments.Fig19,
+	"fig20":  experiments.Fig20,
+	"fig21":  experiments.Fig21,
+	"fig22":  experiments.Fig22,
+	"fig23":  experiments.Fig23,
+	"fig24":  experiments.Fig24,
+	"table1": experiments.Table1,
+	"table2": experiments.Table2,
+}
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		horizon = flag.Duration("horizon", 0, "serving horizon (default 500s, i.e. 10 periods)")
+		rate    = flag.Float64("rate", 0, "mean request rate per application (req/s, default 250)")
+		quick   = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = allIDs()
+	}
+	opts := experiments.Options{Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick}
+	exit := 0
+	for _, id := range args {
+		fn, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown artifact %q (see -h)\n", id)
+			exit = 2
+			continue
+		}
+		start := time.Now()
+		res, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}
+
+func allIDs() []string {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// figN numerically, tables last.
+		return key(ids[i]) < key(ids[j])
+	})
+	return ids
+}
+
+func key(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n
+	}
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		return 100 + n
+	}
+	return 1000
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `repro regenerates the AdaInf paper's tables and figures.
+
+usage: repro [flags] <artifact>...
+       repro all
+
+artifacts:
+`)
+	for _, id := range allIDs() {
+		fmt.Fprintf(os.Stderr, "  %s\n", id)
+	}
+	flag.PrintDefaults()
+}

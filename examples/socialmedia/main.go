@@ -1,0 +1,92 @@
+// Social media: schedule the complex two-root DAG application from the
+// paper's §4 (post screening → translation, image recognition → tag
+// suggestion) and inspect AdaInf's per-session decisions: GPU space,
+// batch size, structure choice, and the retraining-time split by
+// impact degree.
+//
+//	go run ./examples/socialmedia
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/core"
+	"adainf/internal/dist"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+)
+
+func main() {
+	sm := app.SocialMedia()
+	fmt.Printf("application %q (SLO %v):\n", sm.Name, sm.SLO)
+	for _, n := range sm.Nodes {
+		fmt.Printf("  %-18s %-12s deps=%v\n", n.Name, n.Model, n.Deps)
+	}
+
+	inst, err := app.NewInstance(sm, app.InstanceConfig{Seed: 5, PoolSamples: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := profile.BuildAppProfile(sm, profile.Config{
+		Strategy:  gpu.Strategy{MaximizeUsage: true},
+		NewPolicy: func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Let a few periods of drift accumulate, then run AdaInf's period
+	// hook (drift detection + retraining-inference DAG generation).
+	for p := 0; p < 4; p++ {
+		inst.AdvancePeriod(0)
+	}
+	scheduler := core.New(core.Options{})
+	if _, err := scheduler.OnPeriodStart(&sched.PeriodContext{
+		Period: inst.Period(),
+		Length: 50 * time.Second,
+		GPUs:   4,
+		Rand:   dist.NewRNG(9),
+		Jobs:   []sched.JobRequest{{Instance: inst, Profile: prof}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	dag := scheduler.DagFor(sm.Name)
+	fmt.Println("\nretraining-inference DAG for this period (Fig. 15):")
+	for _, v := range dag.Vertices {
+		if v.Phase == sched.PhaseRetrain {
+			fmt.Printf("  [retrain %s, impact %.3f] -> [infer %s]\n", v.Node, v.ImpactDegree, v.Node)
+		}
+	}
+	for _, v := range dag.Vertices {
+		if v.Phase == sched.PhaseInfer && !dag.NeedsRetrain(v.Node) {
+			fmt.Printf("  [infer %s] (no drift impact, no retraining)\n", v.Node)
+		}
+	}
+
+	// Plan one 5 ms session with 12 predicted requests and 0.6 GPUs of
+	// session share.
+	plan, err := scheduler.PlanSession(&sched.SessionContext{
+		Session:  1,
+		GPUShare: 0.6,
+		Jobs:     []sched.JobRequest{{Instance: inst, Profile: prof, Requests: 12}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jp := plan.Jobs[0]
+	fmt.Printf("\nsession plan: %.0f%% of a GPU, request batch %d\n", jp.Fraction*100, jp.Batch)
+	fmt.Printf("%-18s %-24s %-12s %-14s %s\n", "model", "structure", "infer", "retrain time", "retrain samples")
+	for _, np := range jp.Nodes {
+		fmt.Printf("%-18s %-24s %-12v %-14v %d\n",
+			np.Node, np.Structure.String(), np.InferTime.Round(time.Microsecond),
+			np.RetrainTime.Round(time.Microsecond), np.RetrainSamples)
+	}
+	fmt.Printf("\ntotal: %v inference + %v retraining inside the %v SLO\n",
+		jp.InferTime.Round(time.Microsecond), jp.RetrainTime.Round(time.Microsecond), sm.SLO)
+}

@@ -1,0 +1,94 @@
+// Video surveillance: the paper's flagship scenario end to end —
+// compare AdaInf against Ekya, Scrooge, and no retraining on the
+// video-surveillance application under data drift, and show where each
+// method wins or loses period by period.
+//
+//	go run ./examples/videosurveillance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/baselines"
+	"adainf/internal/core"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/sched"
+	"adainf/internal/serving"
+)
+
+func main() {
+	apps := []*app.App{app.VideoSurveillance()}
+	strat := gpu.Strategy{MaximizeUsage: true}
+	policy := func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} }
+	profiles, err := serving.BuildProfiles(apps, strat, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type arm struct {
+		name      string
+		method    sched.Method
+		retrain   bool
+		divergent bool
+	}
+	arms := []arm{
+		{"AdaInf", core.New(core.Options{}), true, true},
+		{"Ekya", baselines.NewEkya(), true, false},
+		{"Scrooge", baselines.NewScrooge(false), true, false},
+		{"no retraining", core.New(core.Options{Label: "w/o retraining"}), false, false},
+	}
+
+	results := make(map[string]*serving.Result, len(arms))
+	for _, a := range arms {
+		res, err := serving.Run(serving.Config{
+			Apps:               apps,
+			Method:             a.method,
+			GPUs:               1,
+			Horizon:            500 * time.Second, // ten 50 s periods
+			Seed:               3,
+			RatePerApp:         200,
+			Retraining:         a.retrain,
+			DivergentSelection: a.divergent,
+			MemStrategy:        strat,
+			NewPolicy:          policy,
+			Profiles:           profiles,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[a.name] = res
+	}
+
+	fmt.Println("per-period accuracy (video surveillance, 1 GPU, 200 req/s):")
+	fmt.Printf("%-8s", "period")
+	for _, a := range arms {
+		fmt.Printf("  %-14s", a.name)
+	}
+	fmt.Println()
+	periods := len(results["AdaInf"].PeriodAccuracy)
+	for p := 0; p < periods; p++ {
+		fmt.Printf("%-8d", p)
+		for _, a := range arms {
+			fmt.Printf("  %-14.3f", results[a.name].PeriodAccuracy[p])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("%-14s  %-9s  %-11s  %s\n", "method", "accuracy", "finish rate", "updated-model fraction")
+	for _, a := range arms {
+		r := results[a.name]
+		var updated float64
+		for _, u := range r.UpdatedModelFraction {
+			updated += u
+		}
+		updated /= float64(len(r.UpdatedModelFraction))
+		fmt.Printf("%-14s  %-9.3f  %-11.3f  %.2f\n", a.name, r.MeanAccuracy, r.MeanFinishRate, updated)
+	}
+	fmt.Println("\nAdaInf retrains incrementally inside every job's SLO spare time, so its")
+	fmt.Println("models track each period's drift immediately; Ekya's whole-pool retraining")
+	fmt.Println("lands mid-period and Scrooge's cloud round-trip lands even later.")
+}

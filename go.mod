@@ -1,0 +1,3 @@
+module adainf
+
+go 1.22

@@ -1,0 +1,253 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"adainf/internal/synthdata"
+)
+
+func TestCatalogValid(t *testing.T) {
+	apps := Catalog()
+	if len(apps) != 8 {
+		t.Fatalf("catalog size = %d, want 8 (§4 default)", len(apps))
+	}
+	names := make(map[string]bool)
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.SLO < 400*time.Millisecond || a.SLO > 600*time.Millisecond {
+			t.Errorf("%s SLO %v outside the paper's [400,600] ms", a.Name, a.SLO)
+		}
+	}
+}
+
+func TestVideoSurveillanceShape(t *testing.T) {
+	vs := VideoSurveillance()
+	if got := vs.Roots(); len(got) != 1 || got[0] != "object-detection" {
+		t.Fatalf("roots = %v", got)
+	}
+	leaves := vs.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %v, want vehicle-type and person-activity", leaves)
+	}
+	if vs.SLOms() != 400 {
+		t.Fatalf("SLOms = %v", vs.SLOms())
+	}
+	if vs.Node("vehicle-type") == nil || vs.Node("nope") != nil {
+		t.Fatal("Node lookup broken")
+	}
+	// Drift asymmetry of Fig. 6: detection static, vehicle > person.
+	det := vs.Node("object-detection").Task.LabelDrift.Magnitude()
+	veh := vs.Node("vehicle-type").Task.LabelDrift.Magnitude()
+	per := vs.Node("person-activity").Task.LabelDrift.Magnitude()
+	if det != 0 {
+		t.Errorf("object detection drifts: %v", det)
+	}
+	if !(veh > per && per > 0) {
+		t.Errorf("drift ordering broken: vehicle %v, person %v", veh, per)
+	}
+}
+
+func TestSocialMediaComplexDAG(t *testing.T) {
+	sm := SocialMedia()
+	if len(sm.Roots()) != 2 || len(sm.Nodes) != 4 {
+		t.Fatalf("social media DAG shape: roots=%v nodes=%d", sm.Roots(), len(sm.Nodes))
+	}
+}
+
+func TestAmberAlertTwoRootJoin(t *testing.T) {
+	aa := AmberAlert()
+	mm := aa.Node("make-model")
+	if len(mm.Deps) != 2 {
+		t.Fatalf("make-model deps = %v", mm.Deps)
+	}
+}
+
+func TestBikeRackSingleModel(t *testing.T) {
+	br := BikeRackOccupancy()
+	if len(br.Nodes) != 1 {
+		t.Fatalf("bike rack nodes = %d", len(br.Nodes))
+	}
+	if got := br.Leaves(); len(got) != 1 || got[0] != "rack-detection" {
+		t.Fatalf("leaves = %v", got)
+	}
+}
+
+func TestValidateRejectsBadApps(t *testing.T) {
+	base := func() *App { return VideoSurveillance() }
+	cases := []struct {
+		name   string
+		mutate func(*App)
+	}{
+		{"empty name", func(a *App) { a.Name = "" }},
+		{"zero SLO", func(a *App) { a.SLO = 0 }},
+		{"no nodes", func(a *App) { a.Nodes = nil }},
+		{"empty node name", func(a *App) { a.Nodes[0].Name = "" }},
+		{"dup node", func(a *App) { a.Nodes[1].Name = a.Nodes[0].Name }},
+		{"no model", func(a *App) { a.Nodes[0].Model = "" }},
+		{"forward dep", func(a *App) { a.Nodes[0].Deps = []string{"vehicle-type"} }},
+		{"unknown dep", func(a *App) { a.Nodes[1].Deps = []string{"ghost"} }},
+		{"bad threshold", func(a *App) { a.Nodes[0].AccThreshold = 1.0 }},
+	}
+	for _, tc := range cases {
+		a := base()
+		tc.mutate(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: invalid app passed validation", tc.name)
+		}
+	}
+}
+
+func TestCatalogN(t *testing.T) {
+	if _, err := CatalogN(0); err == nil {
+		t.Error("CatalogN(0) accepted")
+	}
+	apps, err := CatalogN(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 10 {
+		t.Fatalf("len = %d", len(apps))
+	}
+	seen := make(map[string]bool)
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Fatalf("duplicate name %q in CatalogN", a.Name)
+		}
+		seen[a.Name] = true
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	small, _ := CatalogN(2)
+	if len(small) != 2 {
+		t.Fatalf("CatalogN(2) len = %d", len(small))
+	}
+}
+
+func TestNewInstance(t *testing.T) {
+	inst, err := NewInstance(VideoSurveillance(), InstanceConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Nodes()) != 3 {
+		t.Fatalf("nodes = %d", len(inst.Nodes()))
+	}
+	for _, ni := range inst.Nodes() {
+		if ni.InitialAccuracy <= 0.5 || ni.InitialAccuracy > 1 {
+			t.Errorf("%s initial accuracy = %v", ni.Node.Name, ni.InitialAccuracy)
+		}
+		if len(ni.Structures) < 2 {
+			t.Errorf("%s has %d structures", ni.Node.Name, len(ni.Structures))
+		}
+		if !ni.FullStructure().IsFull() {
+			t.Errorf("%s FullStructure not full", ni.Node.Name)
+		}
+		if ni.RemainingSamples() != 1000 {
+			t.Errorf("%s pool = %d", ni.Node.Name, ni.RemainingSamples())
+		}
+	}
+}
+
+func TestNewInstanceUnknownModel(t *testing.T) {
+	a := VideoSurveillance()
+	a.Nodes[0].Model = "NoSuchNet"
+	if _, err := NewInstance(a, InstanceConfig{Seed: 1}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestInstanceAdvancePeriod(t *testing.T) {
+	inst, err := NewInstance(VideoSurveillance(), InstanceConfig{Seed: 2, PoolSamples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := inst.ByName["vehicle-type"]
+	firstPool := ni.Pool
+	bootstrap := ni.OldData
+	ni.ConsumeSamples(100)
+	ni.NoteTrained()
+	inst.AdvancePeriod(0)
+	if inst.Period() != 1 {
+		t.Fatalf("period = %d", inst.Period())
+	}
+	if ni.OldData != firstPool {
+		t.Fatal("retrained node's pool did not become OldData")
+	}
+	if ni.TrainedThisPeriod() {
+		t.Fatal("trained flag not reset at period boundary")
+	}
+	// An un-retrained node keeps its old reference, so accumulated
+	// drift stays visible to the detector.
+	det := inst.ByName["object-detection"]
+	if det.OldData == det.Pool {
+		t.Fatal("un-retrained node advanced its OldData")
+	}
+	_ = bootstrap
+	if ni.UsedSamples != 0 {
+		t.Fatal("UsedSamples not reset")
+	}
+	if len(ni.Pool.Samples) != 500 {
+		t.Fatalf("new pool size = %d", len(ni.Pool.Samples))
+	}
+	if ni.Stream.Period() != 1 {
+		t.Fatalf("stream period = %d", ni.Stream.Period())
+	}
+}
+
+func TestConsumeSamples(t *testing.T) {
+	inst, _ := NewInstance(BikeRackOccupancy(), InstanceConfig{Seed: 3, PoolSamples: 100})
+	ni := inst.Nodes()[0]
+	if got := ni.ConsumeSamples(60); got != 60 {
+		t.Fatalf("ConsumeSamples = %d", got)
+	}
+	if got := ni.ConsumeSamples(60); got != 40 {
+		t.Fatalf("second ConsumeSamples = %d, want remaining 40", got)
+	}
+	if got := ni.ConsumeSamples(10); got != 0 {
+		t.Fatalf("exhausted pool gave %d", got)
+	}
+}
+
+func TestPoolDist(t *testing.T) {
+	inst, _ := NewInstance(VideoSurveillance(), InstanceConfig{Seed: 4})
+	ni := inst.ByName["vehicle-type"]
+	d, err := ni.PoolDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K() != 5 {
+		t.Fatalf("pool dist K = %d", d.K())
+	}
+	ni.Pool = &synthdata.Dataset{}
+	if _, err := ni.PoolDist(); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestDriftAccumulatesAccuracyLoss(t *testing.T) {
+	// After several periods without retraining, the strongly drifting
+	// vehicle-type node must lose accuracy while the drift-free
+	// detector holds — Observation 2 in miniature.
+	inst, _ := NewInstance(VideoSurveillance(), InstanceConfig{Seed: 5})
+	for p := 0; p < 12; p++ {
+		inst.AdvancePeriod(0)
+	}
+	veh := inst.ByName["vehicle-type"]
+	det := inst.ByName["object-detection"]
+	vehAcc := veh.State.Accuracy(veh.LiveDist())
+	detAcc := det.State.Accuracy(det.LiveDist())
+	if vehAcc >= veh.InitialAccuracy-0.01 {
+		t.Fatalf("vehicle accuracy %v did not drop from %v after 12 drifting periods",
+			vehAcc, veh.InitialAccuracy)
+	}
+	if detAcc < det.InitialAccuracy-1e-6 {
+		t.Fatalf("drift-free detector lost accuracy: %v < %v", detAcc, det.InitialAccuracy)
+	}
+}

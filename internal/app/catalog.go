@@ -1,0 +1,275 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"adainf/internal/dist"
+	"adainf/internal/synthdata"
+)
+
+// Drift presets, calibrated to the paper's observations: object/person
+// detectors see essentially no class-mix drift (Observation 2, Fig. 6),
+// person-activity mixes drift mildly, and vehicle-type mixes drift the
+// most (Observation 3): 0.1%–26% more than person activities. Drift is
+// shock-dominated — the paper's motivating changes are sudden (an
+// accident changing the vehicle mix within one 50 s period), which is
+// also the regime the divergence ranking can observe.
+var (
+	driftNone   = dist.LabelDrift{}
+	driftMild   = dist.LabelDrift{WalkSigma: 0.05, ShockProb: 0.40, ShockScale: 1.6}
+	driftStrong = dist.LabelDrift{WalkSigma: 0.08, ShockProb: 0.70, ShockScale: 2.2}
+)
+
+const defaultFeatureDim = 12
+
+func task(name string, classes []string, weights []float64, drift dist.LabelDrift) synthdata.TaskSpec {
+	return synthdata.TaskSpec{
+		Name:           name,
+		Classes:        classes,
+		FeatureDim:     defaultFeatureDim,
+		InitialWeights: weights,
+		LabelDrift:     drift,
+	}
+}
+
+// VideoSurveillance returns the paper's flagship application (Fig. 1):
+// TinyYOLOv3 object detection feeding MobileNetV2 vehicle-type
+// recognition and ShuffleNet person-activity recognition. 400 ms SLO.
+func VideoSurveillance() *App {
+	return &App{
+		Name: "video-surveillance",
+		SLO:  400 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "object-detection", Model: "TinyYOLOv3",
+				Task:         task("object-detection", []string{"vehicle", "person"}, []float64{0.6, 0.4}, driftNone),
+				AccThreshold: 0.83,
+			},
+			{
+				Name: "vehicle-type", Model: "MobileNetV2", Deps: []string{"object-detection"},
+				Task:         task("vehicle-type", []string{"car", "bus", "truck", "police", "ambulance"}, []float64{0.55, 0.15, 0.2, 0.05, 0.05}, driftStrong),
+				AccThreshold: 0.78,
+			},
+			{
+				Name: "person-activity", Model: "ShuffleNet", Deps: []string{"object-detection"},
+				Task:         task("person-activity", []string{"walking", "standing", "cycling", "fighting"}, []float64{0.5, 0.3, 0.15, 0.05}, driftMild),
+				AccThreshold: 0.88,
+			},
+		},
+	}
+}
+
+// SocialMedia returns the complex-DAG application from [27]: post
+// safety screening and translation on the text side, image safety and
+// tag suggestion on the image side. 600 ms SLO.
+func SocialMedia() *App {
+	return &App{
+		Name: "social-media",
+		SLO:  600 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "post-screening", Model: "BERT-Tiny",
+				Task:         task("post-screening", []string{"safe", "unsafe"}, []float64{0.9, 0.1}, driftMild),
+				AccThreshold: 0.81,
+			},
+			{
+				Name: "image-recognition", Model: "ResNet18",
+				Task:         task("image-recognition", []string{"people", "scenery", "food", "meme", "product"}, []float64{0.35, 0.2, 0.15, 0.2, 0.1}, driftMild),
+				AccThreshold: 0.78,
+			},
+			{
+				Name: "translation", Model: "Seq2Seq", Deps: []string{"post-screening"},
+				Task:         task("translation", []string{"en", "es", "zh", "hi", "other"}, []float64{0.5, 0.15, 0.15, 0.1, 0.1}, driftStrong),
+				AccThreshold: 0.73,
+			},
+			{
+				Name: "tag-suggestion", Model: "PRNet", Deps: []string{"image-recognition"},
+				Task:         task("tag-suggestion", []string{"friend", "family", "celebrity", "none"}, []float64{0.4, 0.3, 0.1, 0.2}, driftMild),
+				AccThreshold: 0.78,
+			},
+		},
+	}
+}
+
+// GameAnalysis analyzes video-game footage: SSDLite detection, then
+// STN-OCR text recognition and ResNet18 object recognition.
+func GameAnalysis() *App {
+	return &App{
+		Name: "game-analysis",
+		SLO:  450 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "frame-detection", Model: "SSDLite",
+				Task:         task("frame-detection", []string{"hud", "character", "terrain"}, []float64{0.3, 0.4, 0.3}, driftNone),
+				AccThreshold: 0.81,
+			},
+			{
+				Name: "text-recognition", Model: "STN-OCR", Deps: []string{"frame-detection"},
+				Task:         task("text-recognition", []string{"score", "chat", "menu", "subtitle"}, []float64{0.3, 0.3, 0.2, 0.2}, driftMild),
+				AccThreshold: 0.75,
+			},
+			{
+				Name: "object-recognition", Model: "ResNet18", Deps: []string{"frame-detection"},
+				Task:         task("object-recognition", []string{"weapon", "vehicle", "item", "npc"}, []float64{0.25, 0.25, 0.3, 0.2}, driftStrong),
+				AccThreshold: 0.78,
+			},
+		},
+	}
+}
+
+// DanceRating rates dance performances: TinyYOLOv3 person detection,
+// then ShuffleNet pose recognition.
+func DanceRating() *App {
+	return &App{
+		Name: "dance-rating",
+		SLO:  500 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "person-detection", Model: "TinyYOLOv3",
+				Task:         task("person-detection", []string{"dancer", "audience"}, []float64{0.7, 0.3}, driftNone),
+				AccThreshold: 0.83,
+			},
+			{
+				Name: "pose-recognition", Model: "ShuffleNet", Deps: []string{"person-detection"},
+				Task:         task("pose-recognition", []string{"spin", "jump", "hold", "step", "lift"}, []float64{0.25, 0.2, 0.2, 0.25, 0.1}, driftMild),
+				AccThreshold: 0.78,
+			},
+		},
+	}
+}
+
+// BillboardResponse estimates responses to public billboards: SSDLite
+// detection, then MobileNetV2 face recognition and ResNet18 gaze
+// recognition.
+func BillboardResponse() *App {
+	return &App{
+		Name: "billboard-response",
+		SLO:  550 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "street-detection", Model: "SSDLite",
+				Task:         task("street-detection", []string{"pedestrian", "vehicle"}, []float64{0.55, 0.45}, driftNone),
+				AccThreshold: 0.83,
+			},
+			{
+				Name: "face-recognition", Model: "MobileNetV2", Deps: []string{"street-detection"},
+				Task:         task("face-recognition", []string{"looking", "glancing", "ignoring"}, []float64{0.2, 0.3, 0.5}, driftMild),
+				AccThreshold: 0.78,
+			},
+			{
+				Name: "gaze-recognition", Model: "ResNet18", Deps: []string{"street-detection"},
+				Task:         task("gaze-recognition", []string{"billboard", "road", "phone", "other"}, []float64{0.15, 0.45, 0.25, 0.15}, driftStrong),
+				AccThreshold: 0.78,
+			},
+		},
+	}
+}
+
+// BikeRackOccupancy finds bike-rack occupancy on buses: a single
+// TinyYOLOv3 detector (the catalog's single-model app).
+func BikeRackOccupancy() *App {
+	return &App{
+		Name: "bikerack-occupancy",
+		SLO:  400 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "rack-detection", Model: "TinyYOLOv3",
+				Task:         task("rack-detection", []string{"empty", "one-bike", "full"}, []float64{0.5, 0.35, 0.15}, driftMild),
+				AccThreshold: 0.83,
+			},
+		},
+	}
+}
+
+// AmberAlert matches vehicles to amber-alert descriptions: STN-OCR
+// plate reading and SSDLite detection feeding ResNet18 make/model
+// recognition (a two-root DAG).
+func AmberAlert() *App {
+	return &App{
+		Name: "amber-alert",
+		SLO:  500 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "plate-reading", Model: "STN-OCR",
+				Task:         task("plate-reading", []string{"instate", "outstate", "unreadable"}, []float64{0.6, 0.3, 0.1}, driftMild),
+				AccThreshold: 0.75,
+			},
+			{
+				Name: "vehicle-detection", Model: "SSDLite",
+				Task:         task("vehicle-detection", []string{"sedan", "suv", "truck"}, []float64{0.45, 0.35, 0.2}, driftNone),
+				AccThreshold: 0.81,
+			},
+			{
+				Name: "make-model", Model: "ResNet18", Deps: []string{"plate-reading", "vehicle-detection"},
+				Task:         task("make-model", []string{"toyota", "ford", "honda", "chevy", "other"}, []float64{0.25, 0.2, 0.2, 0.15, 0.2}, driftStrong),
+				AccThreshold: 0.78,
+			},
+		},
+	}
+}
+
+// LogoPlacement rates corporate logo placement: TinyYOLOv3 detection
+// feeding MobileNetV2 icon recognition and ShuffleNet pose recognition.
+func LogoPlacement() *App {
+	return &App{
+		Name: "logo-placement",
+		SLO:  600 * time.Millisecond,
+		Nodes: []Node{
+			{
+				Name: "scene-detection", Model: "TinyYOLOv3",
+				Task:         task("scene-detection", []string{"crowd", "stage", "field"}, []float64{0.4, 0.3, 0.3}, driftNone),
+				AccThreshold: 0.83,
+			},
+			{
+				Name: "icon-recognition", Model: "MobileNetV2", Deps: []string{"scene-detection"},
+				Task:         task("icon-recognition", []string{"brand-a", "brand-b", "brand-c", "none"}, []float64{0.3, 0.25, 0.2, 0.25}, driftStrong),
+				AccThreshold: 0.78,
+			},
+			{
+				Name: "human-pose", Model: "ShuffleNet", Deps: []string{"scene-detection"},
+				Task:         task("human-pose", []string{"cheering", "sitting", "walking"}, []float64{0.35, 0.4, 0.25}, driftMild),
+				AccThreshold: 0.83,
+			},
+		},
+	}
+}
+
+// Catalog returns the default eight concurrent applications of §4, in
+// a stable order with the video-surveillance app first.
+func Catalog() []*App {
+	return []*App{
+		VideoSurveillance(),
+		SocialMedia(),
+		GameAnalysis(),
+		DanceRating(),
+		BillboardResponse(),
+		BikeRackOccupancy(),
+		AmberAlert(),
+		LogoPlacement(),
+	}
+}
+
+// CatalogN returns n concurrent applications for the varying-app-count
+// experiments (Figs. 18b/19b). For n beyond the catalog, applications
+// repeat with a distinguishing suffix (independent streams come from
+// the per-instance seeds).
+func CatalogN(n int) ([]*App, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("app: CatalogN(%d)", n)
+	}
+	base := Catalog()
+	out := make([]*App, 0, n)
+	for i := 0; i < n; i++ {
+		a := base[i%len(base)]
+		if i < len(base) {
+			out = append(out, a)
+			continue
+		}
+		clone := *a
+		clone.Name = fmt.Sprintf("%s-%d", a.Name, i/len(base)+1)
+		clone.Nodes = append([]Node(nil), a.Nodes...)
+		out = append(out, &clone)
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package baselines implements the comparison methods of §4:
+//
+//   - Ekya [3]: continual learning with whole-job retraining at the
+//     start of each 50 s period and an accuracy-maximizing
+//     resource-transfer heuristic;
+//   - Scrooge [10] and Scrooge*: optimization-based inference serving
+//     with retraining offloaded to the cloud over a ~20 Gbps WAN.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+)
+
+// EkyaOverhead is Ekya's period scheduling time (Table 1: 8.4 s): the
+// heuristic traverses every pair of tasks to check whether moving
+// resource between them improves average accuracy.
+const EkyaOverhead = 8400 * time.Millisecond
+
+// Ekya is the continual-learning baseline. Each period it retrains
+// every model on its entire pool (no drift awareness, no incremental
+// retraining): inference requests arriving before a model's retraining
+// completes use the stale model (Observation 1). GPU space within a
+// session is divided evenly among jobs — Ekya maximizes accuracy, not
+// SLO fulfillment.
+type Ekya struct {
+	// RetrainShare is the GPU fraction of the server the heuristic
+	// dedicates to retraining at the start of each period. It is
+	// chosen by the accuracy hill-climb in OnPeriodStart.
+	retrainShare float64
+	minFraction  float64
+}
+
+// NewEkya returns an Ekya baseline.
+func NewEkya() *Ekya {
+	return &Ekya{minFraction: 0.02}
+}
+
+// Name implements sched.Scheduler.
+func (e *Ekya) Name() string { return "Ekya" }
+
+// OnPeriodStart implements sched.Method: the resource-transfer
+// heuristic. Candidate retraining shares are scored by the estimated
+// time-weighted average accuracy over the period — retraining finishes
+// sooner with more GPU (more requests enjoy the updated model), but
+// leaves less space for inference, which Ekya's estimator only values
+// through accuracy, not latency.
+func (e *Ekya) OnPeriodStart(ctx *sched.PeriodContext) (*sched.PeriodPlan, error) {
+	type task struct {
+		app, node string
+		samples   int
+		jr        *sched.JobRequest
+	}
+	var tasks []task
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		for _, ni := range jr.Instance.Nodes() {
+			// Ekya retrains every model on the full pool (§3.2).
+			tasks = append(tasks, task{
+				app: jr.Instance.App.Name, node: ni.Node.Name,
+				samples: ni.RemainingSamples(), jr: jr,
+			})
+		}
+	}
+	if len(tasks) == 0 {
+		return &sched.PeriodPlan{Overhead: EkyaOverhead}, nil
+	}
+
+	// Completion schedule for a candidate retraining share: tasks run
+	// on lanes of at most one GPU each, longest first. Each task
+	// occupies one lane's fraction only while it runs.
+	schedule := func(share float64) ([]simtime.Duration, []simtime.Duration, float64, simtime.Duration) {
+		gpus := share * ctx.GPUs
+		lanes := int(gpus)
+		frac := 1.0
+		if lanes < 1 {
+			lanes = 1
+			frac = gpus
+			if frac < e.minFraction {
+				frac = e.minFraction
+			}
+		}
+		type entry struct {
+			idx int
+			dur simtime.Duration
+		}
+		entries := make([]entry, len(tasks))
+		for i, t := range tasks {
+			rp := t.jr.Profile.Retrain[t.node]
+			d, err := rp.Latency(t.samples, frac)
+			if err != nil {
+				d = 0
+			}
+			entries[i] = entry{idx: i, dur: d}
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].dur > entries[b].dur })
+		laneEnd := make([]simtime.Duration, lanes)
+		starts := make([]simtime.Duration, len(tasks))
+		completions := make([]simtime.Duration, len(tasks))
+		var makespan simtime.Duration
+		for _, en := range entries {
+			// Greedy: place on the emptiest lane.
+			best := 0
+			for l := 1; l < lanes; l++ {
+				if laneEnd[l] < laneEnd[best] {
+					best = l
+				}
+			}
+			starts[en.idx] = laneEnd[best]
+			laneEnd[best] += en.dur
+			completions[en.idx] = laneEnd[best]
+			if laneEnd[best] > makespan {
+				makespan = laneEnd[best]
+			}
+		}
+		return completions, starts, frac, makespan
+	}
+
+	// Estimated average accuracy for a candidate share.
+	score := func(share float64) float64 {
+		completions, _, _, _ := schedule(share)
+		var sum float64
+		for i, t := range tasks {
+			ni := t.jr.Instance.ByName[t.node]
+			poolDist, err := ni.PoolDist()
+			if err != nil {
+				continue
+			}
+			oldAcc := ni.State.Accuracy(poolDist)
+			proj := ni.State.Clone()
+			proj.Train(poolDist, float64(t.samples))
+			newAcc := proj.Accuracy(poolDist)
+			w := float64(completions[i]) / float64(ctx.Length)
+			if w > 1 {
+				w = 1
+			}
+			sum += w*oldAcc + (1-w)*newAcc
+		}
+		return sum / float64(len(tasks))
+	}
+
+	// Hill-climb over candidate shares (the paper's heuristic moves
+	// resources between tasks pairwise; a share sweep captures the
+	// same search space at our granularity).
+	bestShare, bestScore := 0.1, score(0.1)
+	for share := 0.2; share <= 0.9; share += 0.1 {
+		if sc := score(share); sc > bestScore {
+			bestShare, bestScore = share, sc
+		}
+	}
+	e.retrainShare = bestShare
+
+	// Ekya picks a retraining configuration (iteration count) per task
+	// so the whole retraining fits comfortably in the period — the
+	// paper measures its retraining completing at 20–23 s of the 50 s
+	// period (Fig. 7b). Scale the sample counts to that budget.
+	if _, _, _, makespan := schedule(bestShare); makespan > 0 {
+		budget := simtime.Duration(float64(ctx.Length) * 0.45)
+		if makespan > budget {
+			scale := float64(budget) / float64(makespan)
+			for i := range tasks {
+				tasks[i].samples = int(float64(tasks[i].samples) * scale)
+			}
+		}
+	}
+
+	completions, starts, frac, _ := schedule(bestShare)
+	plan := &sched.PeriodPlan{Overhead: EkyaOverhead}
+	for i, t := range tasks {
+		if t.samples <= 0 {
+			continue
+		}
+		plan.Retrains = append(plan.Retrains, sched.PeriodRetrain{
+			App: t.app, Node: t.node, Samples: t.samples,
+			// Retraining starts after the scheduling decision lands;
+			// the task holds its lane's fraction only while running.
+			Completion:  ctx.Start.Add(EkyaOverhead + completions[i]),
+			GPUFraction: frac,
+			Busy:        completions[i] - starts[i],
+		})
+	}
+	return plan, nil
+}
+
+// RetrainShare returns the share chosen by the last period's heuristic.
+func (e *Ekya) RetrainShare() float64 { return e.retrainShare }
+
+// PlanSession implements sched.Scheduler: GPU space is divided evenly
+// among the session's jobs; the request batch size is optimized per
+// job; structures stay full and no incremental retraining happens.
+func (e *Ekya) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
+	plan := &sched.SessionPlan{Session: ctx.Session}
+	active := 0
+	for i := range ctx.Jobs {
+		if ctx.Jobs[i].Requests > 0 {
+			active++
+		}
+	}
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		if jr.Requests <= 0 {
+			plan.Jobs = append(plan.Jobs, sched.JobPlan{App: jr.Instance.App.Name})
+			continue
+		}
+		f := ctx.GPUShare / float64(active)
+		if f > 1 {
+			f = 1
+		}
+		if f < e.minFraction {
+			f = e.minFraction
+		}
+		structs := sched.FullStructures(jr)
+		batch, _, err := sched.BestBatch(jr, structs, f)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: ekya batch: %w", err)
+		}
+		jp := sched.JobPlan{App: jr.Instance.App.Name, Fraction: f, Batch: batch}
+		nBatches := (jr.Requests + batch - 1) / batch
+		for _, ni := range jr.Instance.Nodes() {
+			sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, structs[ni.Node.Name])
+			if err != nil {
+				return nil, err
+			}
+			per, err := sp.PerBatch(batch, f)
+			if err != nil {
+				return nil, err
+			}
+			it := per * simtime.Duration(nBatches)
+			jp.InferTime += it
+			jp.Nodes = append(jp.Nodes, sched.NodePlan{
+				Node: ni.Node.Name, Structure: structs[ni.Node.Name], InferTime: it,
+			})
+		}
+		plan.Jobs = append(plan.Jobs, jp)
+	}
+	return plan, nil
+}

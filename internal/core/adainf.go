@@ -1,0 +1,392 @@
+// Package core implements the AdaInf scheduler — the paper's primary
+// contribution (§3). For every 5 ms time session it:
+//
+//  1. divides the session's GPU space among the applications in
+//     proportion to the space each needs to meet its SLO (§3.3.1),
+//     computed from offline profiles and the fitted non-linear scaling
+//     laws;
+//  2. picks the optimal request batch size for each job, re-adjusting
+//     after space allocation and structure selection (Observations 5–6);
+//  3. chooses an early-exit structure per model — the cheapest whose
+//     accuracy clears the application threshold A_m — to leave more
+//     SLO time for retraining (§3.3.2);
+//  4. gives the SLO time left after inference to the models'
+//     retraining tasks, split by drift impact degree, and converts each
+//     retraining budget into a retraining-sample count via the profiled
+//     retraining latency (incremental retraining, §3.3.2).
+//
+// The ablation variants of §5.2 (/I /S /E) are switches on Options;
+// the memory-strategy variants (/M1 /M2) live in the serving engine's
+// execution configuration, and /U in its DAG-update policy.
+package core
+
+import (
+	"time"
+
+	"adainf/internal/dnn"
+	"adainf/internal/drift"
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+)
+
+// DefaultMinFraction is the smallest GPU-space slice a job can be
+// handed; below this MPS scheduling becomes meaningless.
+const DefaultMinFraction = 0.02
+
+// DefaultOverhead is the scheduling lead the paper measures for AdaInf
+// (Table 1): plans made at τ apply to [τ+2, τ+7) ms.
+const DefaultOverhead = 2 * time.Millisecond
+
+// Options configures the scheduler and its ablation variants.
+type Options struct {
+	// EqualRetrainSplit divides spare time evenly across retraining
+	// tasks instead of by impact degree (AdaInf/I).
+	EqualRetrainSplit bool
+	// EqualSpaceSplit divides GPU space evenly across jobs instead of
+	// by SLO need (AdaInf/S).
+	EqualSpaceSplit bool
+	// FullStructureOnly disables early-exit structures (AdaInf/E).
+	FullStructureOnly bool
+	// NoDAGUpdate freezes the first period's retraining-inference DAG
+	// and impact degrees (AdaInf/U).
+	NoDAGUpdate bool
+	// PreferEarlyExit serves every node through the cheapest structure
+	// above its threshold even when the node is not retraining — the
+	// Early-w/o comparison arm of Fig. 7.
+	PreferEarlyExit bool
+	// MinFraction floors per-job GPU space; zero takes the default.
+	MinFraction float64
+	// Overhead is the simulated scheduling latency; zero takes the
+	// default 2 ms.
+	Overhead simtime.Duration
+	// Label overrides Name() for variant reporting.
+	Label string
+}
+
+// Scheduler is the AdaInf session scheduler.
+type Scheduler struct {
+	opts        Options
+	dags        map[string]*sched.RIDag
+	lastReports map[string]map[string]drift.Report
+
+	// Per-period memoization: the SLO-space inversion and the
+	// structure/batch choice depend only on (app, requests, fraction)
+	// within one period, so they are cached until the next
+	// OnPeriodStart. This is what keeps the on-line scheduling cost at
+	// the paper's ~2 ms scale instead of re-running regressions every
+	// session.
+	reqFracCache map[reqKey]float64
+	jobBaseCache map[baseKey]*jobBase
+}
+
+type reqKey struct {
+	app      string
+	requests int
+}
+
+type baseKey struct {
+	app       string
+	requests  int
+	fracMilli int
+}
+
+// jobBase is the cached inference-side plan of a job: everything
+// except the retraining assignment, which depends on the (draining)
+// sample pool and is recomputed every session.
+type jobBase struct {
+	batch      int
+	structs    []dnn.Structure
+	inferTimes []simtime.Duration
+	inferTotal simtime.Duration
+}
+
+// New returns an AdaInf scheduler with the options.
+func New(opts Options) *Scheduler {
+	if opts.MinFraction == 0 {
+		opts.MinFraction = DefaultMinFraction
+	}
+	if opts.Overhead == 0 {
+		opts.Overhead = DefaultOverhead
+	}
+	return &Scheduler{
+		opts:         opts,
+		dags:         make(map[string]*sched.RIDag),
+		lastReports:  make(map[string]map[string]drift.Report),
+		reqFracCache: make(map[reqKey]float64),
+		jobBaseCache: make(map[baseKey]*jobBase),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.opts.Label != "" {
+		return s.opts.Label
+	}
+	return "AdaInf"
+}
+
+// PlanSession implements sched.Scheduler.
+func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
+	plan := &sched.SessionPlan{Session: ctx.Session, Overhead: s.opts.Overhead}
+	if len(ctx.Jobs) == 0 {
+		return plan, nil
+	}
+	// Bind each job to its current retraining-inference DAG (built by
+	// OnPeriodStart) unless the caller supplied one explicitly, and
+	// plan against a conservative request quantile.
+	for i := range ctx.Jobs {
+		if ctx.Jobs[i].Dag == nil {
+			ctx.Jobs[i].Dag = s.dags[ctx.Jobs[i].Instance.App.Name]
+		}
+		ctx.Jobs[i].Requests = sched.PadRequests(ctx.Jobs[i].Requests)
+	}
+
+	// Step 1 (§3.3.1): per job, optimal batch at full GPU and the GPU
+	// space required to meet the SLO.
+	required := make([]float64, len(ctx.Jobs))
+	var totalRequired float64
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		if jr.Requests <= 0 {
+			continue
+		}
+		key := reqKey{app: jr.Instance.App.Name, requests: jr.Requests}
+		req, ok := s.reqFracCache[key]
+		if !ok {
+			structs := sched.FullStructures(jr)
+			batch, _, err := sched.BestBatch(jr, structs, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			req, err = sched.RequiredFraction(jr, structs, batch, s.opts.MinFraction)
+			if err != nil {
+				return nil, err
+			}
+			s.reqFracCache[key] = req
+		}
+		required[i] = req
+		totalRequired += req
+	}
+
+	// Step 2: split the session's GPU amount.
+	fractions := make([]float64, len(ctx.Jobs))
+	active := 0
+	for i := range ctx.Jobs {
+		if ctx.Jobs[i].Requests > 0 {
+			active++
+		}
+	}
+	for i := range ctx.Jobs {
+		if ctx.Jobs[i].Requests <= 0 {
+			continue
+		}
+		var f float64
+		if s.opts.EqualSpaceSplit || totalRequired == 0 {
+			f = ctx.GPUShare / float64(active)
+		} else {
+			f = ctx.GPUShare * required[i] / totalRequired
+		}
+		if f > 1 {
+			f = 1
+		}
+		if f < s.opts.MinFraction {
+			f = s.opts.MinFraction
+		}
+		fractions[i] = f
+	}
+
+	// Steps 3–5 (§3.3.2): per job, choose structures, re-adjust batch,
+	// and divide SLO time between inference and retraining.
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		if jr.Requests <= 0 {
+			plan.Jobs = append(plan.Jobs, sched.JobPlan{App: jr.Instance.App.Name})
+			continue
+		}
+		jp, err := s.planJob(jr, fractions[i])
+		if err != nil {
+			return nil, err
+		}
+		plan.Jobs = append(plan.Jobs, *jp)
+	}
+	return plan, nil
+}
+
+// planJob performs the per-job §3.3.2 decisions at the allocated space.
+func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64) (*sched.JobPlan, error) {
+	base, err := s.jobBaseFor(jr, fraction)
+	if err != nil {
+		return nil, err
+	}
+	jp := &sched.JobPlan{
+		App:       jr.Instance.App.Name,
+		Fraction:  fraction,
+		Batch:     base.batch,
+		InferTime: base.inferTotal,
+	}
+	nodePlans := make([]sched.NodePlan, len(base.structs))
+	for i, ni := range jr.Instance.Nodes() {
+		nodePlans[i] = sched.NodePlan{
+			Node:      ni.Node.Name,
+			Structure: base.structs[i],
+			InferTime: base.inferTimes[i],
+		}
+	}
+
+	// Spare time within the SLO goes to retraining:
+	// T_r = L_s − Σ l_k − scheduling lead, with a small safety margin
+	// held back so bursts beyond the planning quantile do not push the
+	// job past its SLO.
+	spare := simtime.Duration(float64(jr.Instance.App.SLO-base.inferTotal-s.opts.Overhead) * 0.9)
+	if spare < 0 {
+		spare = 0
+	}
+	jp.RetrainTime = s.assignRetraining(jr, nodePlans, spare, fraction)
+	jp.Nodes = nodePlans
+	return jp, nil
+}
+
+// jobBaseFor computes (or recalls) the inference-side decisions of a
+// job at the fraction: structure per node, batch size, inference times.
+func (s *Scheduler) jobBaseFor(jr *sched.JobRequest, fraction float64) (*jobBase, error) {
+	key := baseKey{
+		app:       jr.Instance.App.Name,
+		requests:  jr.Requests,
+		fracMilli: int(fraction * 1000),
+	}
+	if base, ok := s.jobBaseCache[key]; ok {
+		return base, nil
+	}
+	structsByName, err := s.chooseStructures(jr, fraction)
+	if err != nil {
+		return nil, err
+	}
+	batch, _, err := sched.BestBatch(jr, structsByName, fraction)
+	if err != nil {
+		return nil, err
+	}
+	nBatches := (jr.Requests + batch - 1) / batch
+	base := &jobBase{batch: batch}
+	// Inference time: parallel DAG tasks are time-sliced in the job's
+	// space, so the job's inference time is the sum over tasks (§3.3.2).
+	for _, ni := range jr.Instance.Nodes() {
+		st := structsByName[ni.Node.Name]
+		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, st)
+		if err != nil {
+			return nil, err
+		}
+		per, err := sp.PerBatch(batch, fraction)
+		if err != nil {
+			return nil, err
+		}
+		it := per * simtime.Duration(nBatches)
+		base.structs = append(base.structs, st)
+		base.inferTimes = append(base.inferTimes, it)
+		base.inferTotal += it
+	}
+	s.jobBaseCache[key] = base
+	return base, nil
+}
+
+// assignRetraining splits the spare time across retraining vertices and
+// converts budgets to sample counts. It returns the total retraining
+// time actually assigned.
+func (s *Scheduler) assignRetraining(jr *sched.JobRequest, nodePlans []sched.NodePlan, spare simtime.Duration, fraction float64) simtime.Duration {
+	if spare <= 0 || jr.Dag == nil || len(jr.Dag.Impact) == 0 {
+		return 0
+	}
+	totalImpact := jr.Dag.TotalImpact()
+	nRetrain := len(jr.Dag.Impact)
+	var assigned simtime.Duration
+	for i := range nodePlans {
+		np := &nodePlans[i]
+		impact, ok := jr.Dag.Impact[np.Node]
+		if !ok {
+			continue
+		}
+		var budget simtime.Duration
+		if s.opts.EqualRetrainSplit || totalImpact == 0 {
+			budget = spare / simtime.Duration(nRetrain)
+		} else {
+			budget = simtime.Duration(float64(spare) * impact / totalImpact)
+		}
+		rp := jr.Profile.Retrain[np.Node]
+		remaining := jr.Instance.ByName[np.Node].RemainingSamples()
+		if remaining <= 0 || budget <= 0 {
+			continue
+		}
+		// Don't hold GPU time beyond what the unused pool can absorb.
+		if maxLat, err := rp.Latency(remaining, fraction); err == nil && maxLat < budget {
+			budget = maxLat
+		}
+		samplesF := rp.SamplesWithinF(budget, fraction)
+		if samplesF <= 0 {
+			continue
+		}
+		// RetrainSamples is the scheduler's whole-sample estimate;
+		// fractional training progress carries across jobs in the
+		// runtime (incremental retraining trains "as much as possible
+		// every time", §1).
+		np.RetrainSamples = int(samplesF + 0.5)
+		np.RetrainTime = budget
+		assigned += budget
+	}
+	return assigned
+}
+
+// chooseStructures picks each node's structure: the full structure when
+// the node does not retrain this period (or under /E), otherwise the
+// fastest structure whose accuracy clears the node threshold A_m.
+func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64) (map[string]dnn.Structure, error) {
+	out := make(map[string]dnn.Structure, len(jr.Instance.Nodes()))
+	for _, ni := range jr.Instance.Nodes() {
+		full := ni.FullStructure()
+		needsExit := s.opts.PreferEarlyExit ||
+			(jr.Dag != nil && jr.Dag.NeedsRetrain(ni.Node.Name))
+		if s.opts.FullStructureOnly || !needsExit {
+			out[ni.Node.Name] = full
+			continue
+		}
+		poolDist, err := ni.PoolDist()
+		if err != nil {
+			return nil, err
+		}
+		best := full
+		var bestPer simtime.Duration
+		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, full)
+		if err != nil {
+			return nil, err
+		}
+		if bestPer, err = sp.PerBatch(referenceBatch, fraction); err != nil {
+			return nil, err
+		}
+		for _, st := range ni.Structures {
+			if st.IsFull() {
+				continue
+			}
+			// Stored structure accuracy, refreshed each period on the
+			// S most-divergent new samples (§3.3.2) — modelled as the
+			// structure's expected accuracy on the pool distribution.
+			if ni.State.AccuracyWith(poolDist, st) < ni.Node.AccThreshold {
+				continue
+			}
+			sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, st)
+			if err != nil {
+				return nil, err
+			}
+			per, err := sp.PerBatch(referenceBatch, fraction)
+			if err != nil {
+				return nil, err
+			}
+			if per < bestPer {
+				best, bestPer = st, per
+			}
+		}
+		out[ni.Node.Name] = best
+	}
+	return out, nil
+}
+
+// referenceBatch is the batch size used to compare structure latencies
+// before the final batch re-adjustment.
+const referenceBatch = 8

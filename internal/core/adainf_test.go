@@ -1,0 +1,308 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/dist"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+)
+
+var (
+	fxProfile  *profile.AppProfile
+	fxInstance *app.Instance
+)
+
+func fixture(t *testing.T) (*app.Instance, *profile.AppProfile) {
+	t.Helper()
+	if fxProfile == nil {
+		p, err := profile.BuildAppProfile(app.VideoSurveillance(), profile.Config{
+			Strategy:  gpu.Strategy{MaximizeUsage: true},
+			NewPolicy: func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fxProfile = p
+	}
+	inst, err := app.NewInstance(app.VideoSurveillance(), app.InstanceConfig{Seed: 7, PoolSamples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift a few periods so detection has something to find.
+	for p := 0; p < 4; p++ {
+		inst.AdvancePeriod(0)
+	}
+	fxInstance = inst
+	return inst, fxProfile
+}
+
+func sessionCtx(t *testing.T, s *Scheduler, requests int) *sched.SessionContext {
+	t.Helper()
+	inst, prof := fixture(t)
+	pctx := &sched.PeriodContext{
+		Period: inst.Period(),
+		Length: 50 * time.Second,
+		GPUs:   4,
+		Rand:   dist.NewRNG(3),
+		Jobs:   []sched.JobRequest{{Instance: inst, Profile: prof}},
+	}
+	if _, err := s.OnPeriodStart(pctx); err != nil {
+		t.Fatal(err)
+	}
+	return &sched.SessionContext{
+		Session:  1,
+		GPUShare: 0.5,
+		Jobs:     []sched.JobRequest{{Instance: inst, Profile: prof, Requests: requests}},
+	}
+}
+
+func TestSchedulerName(t *testing.T) {
+	if New(Options{}).Name() != "AdaInf" {
+		t.Fatal("default name wrong")
+	}
+	if New(Options{Label: "AdaInf/I"}).Name() != "AdaInf/I" {
+		t.Fatal("label override broken")
+	}
+}
+
+func TestOnPeriodStartBuildsDAG(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	_ = ctx
+	dag := s.DagFor("video-surveillance")
+	if dag == nil {
+		t.Fatal("no DAG built")
+	}
+	if reps := s.ReportsFor("video-surveillance"); len(reps) != 3 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	// Periodical DAG update runs on the CPU and does not block the GPU.
+	plan, err := s.OnPeriodStart(&sched.PeriodContext{
+		GPUs: 4, Length: 50 * time.Second, Rand: dist.NewRNG(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OverheadBlocksGPU {
+		t.Fatal("DAG update should not block the GPU")
+	}
+	if plan.Overhead != DAGUpdateOverhead {
+		t.Fatalf("overhead = %v", plan.Overhead)
+	}
+	if len(plan.Retrains) != 0 {
+		t.Fatal("AdaInf schedules no whole-pool retrains")
+	}
+}
+
+func TestPlanSessionShape(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Overhead != DefaultOverhead {
+		t.Fatalf("session overhead = %v, want 2ms (Table 1)", plan.Overhead)
+	}
+	jp := plan.Jobs[0]
+	if jp.Fraction <= 0 || jp.Batch < 1 {
+		t.Fatalf("job plan: %+v", jp)
+	}
+	if len(jp.Nodes) != 3 {
+		t.Fatalf("node plans = %d", len(jp.Nodes))
+	}
+	// Inference must fit within the SLO (plans are built to).
+	if jp.InferTime > fxInstance.App.SLO {
+		t.Fatalf("planned inference %v exceeds SLO", jp.InferTime)
+	}
+	// Total planned occupancy never exceeds the SLO.
+	if jp.TotalTime() > fxInstance.App.SLO {
+		t.Fatalf("planned total %v exceeds SLO", jp.TotalTime())
+	}
+}
+
+func TestRetrainingOnlyForImpactedNodes(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	dag := s.DagFor("video-surveillance")
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range plan.Jobs[0].Nodes {
+		if np.RetrainTime > 0 && !dag.NeedsRetrain(np.Node) {
+			t.Fatalf("unimpacted node %q got retraining time", np.Node)
+		}
+		if !dag.NeedsRetrain(np.Node) && !np.Structure.IsFull() {
+			t.Fatalf("node %q without retraining should use the full structure", np.Node)
+		}
+	}
+}
+
+func TestImpactProportionalSplit(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	dag := s.DagFor("video-surveillance")
+	if len(dag.Impact) < 2 {
+		t.Skip("need ≥2 impacted nodes in this fixture period")
+	}
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher impact degree → no less retraining time (§3.3.2).
+	times := map[string]simtime.Duration{}
+	for _, np := range plan.Jobs[0].Nodes {
+		times[np.Node] = np.RetrainTime
+	}
+	var hiNode, loNode string
+	var hi, lo float64
+	for n, d := range dag.Impact {
+		if hiNode == "" || d > hi {
+			hiNode, hi = n, d
+		}
+		if loNode == "" || d < lo {
+			loNode, lo = n, d
+		}
+	}
+	if hiNode != loNode && times[hiNode] < times[loNode] {
+		t.Fatalf("impact %v got %v but impact %v got %v", hi, times[hiNode], lo, times[loNode])
+	}
+}
+
+func TestEqualSpaceSplitVariant(t *testing.T) {
+	inst, prof := fixture(t)
+	inst2, err := app.NewInstance(app.BikeRackOccupancy(), app.InstanceConfig{Seed: 9, PoolSamples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof2, err := profile.BuildAppProfile(app.BikeRackOccupancy(), profile.Config{
+		Strategy: gpu.Strategy{MaximizeUsage: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &sched.SessionContext{
+		GPUShare: 0.4,
+		Jobs: []sched.JobRequest{
+			{Instance: inst, Profile: prof, Requests: 32},  // heavy DAG
+			{Instance: inst2, Profile: prof2, Requests: 2}, // light single model
+		},
+	}
+	// AdaInf/S splits evenly; AdaInf gives the heavy job more.
+	even, err := New(Options{EqualSpaceSplit: true, Label: "AdaInf/S"}).PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even.Jobs[0].Fraction != even.Jobs[1].Fraction {
+		t.Fatalf("AdaInf/S fractions unequal: %v vs %v", even.Jobs[0].Fraction, even.Jobs[1].Fraction)
+	}
+	need, err := New(Options{}).PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need.Jobs[0].Fraction <= need.Jobs[1].Fraction {
+		t.Fatalf("SLO-need split gave heavy job %v, light job %v",
+			need.Jobs[0].Fraction, need.Jobs[1].Fraction)
+	}
+}
+
+func TestFullStructureOnlyVariant(t *testing.T) {
+	s := New(Options{FullStructureOnly: true, Label: "AdaInf/E"})
+	ctx := sessionCtx(t, s, 8)
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range plan.Jobs[0].Nodes {
+		if !np.Structure.IsFull() {
+			t.Fatalf("AdaInf/E chose %v", np.Structure)
+		}
+	}
+}
+
+func TestNoDAGUpdateVariant(t *testing.T) {
+	s := New(Options{NoDAGUpdate: true, Label: "AdaInf/U"})
+	ctx := sessionCtx(t, s, 8)
+	_ = ctx
+	first := s.DagFor("video-surveillance")
+	// Advance the instance and re-run the period hook: the DAG must not
+	// change under /U.
+	fxInstance.AdvancePeriod(0)
+	_, err := s.OnPeriodStart(&sched.PeriodContext{
+		GPUs: 4, Length: 50 * time.Second, Rand: dist.NewRNG(2),
+		Jobs: []sched.JobRequest{{Instance: fxInstance, Profile: fxProfile}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DagFor("video-surveillance") != first {
+		t.Fatal("/U rebuilt the DAG")
+	}
+}
+
+func TestZeroRequestJobsGetEmptyPlans(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 0)
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Jobs) != 1 || plan.Jobs[0].Fraction != 0 {
+		t.Fatalf("zero-request plan: %+v", plan.Jobs)
+	}
+}
+
+func TestEmptySessionPlan(t *testing.T) {
+	s := New(Options{})
+	plan, err := s.PlanSession(&sched.SessionContext{})
+	if err != nil || len(plan.Jobs) != 0 {
+		t.Fatalf("empty session: %v %v", plan, err)
+	}
+}
+
+func TestPlanCacheResetAcrossPeriods(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	if _, err := s.PlanSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.jobBaseCache) == 0 {
+		t.Fatal("plan cache unused")
+	}
+	if _, err := s.OnPeriodStart(&sched.PeriodContext{
+		GPUs: 4, Length: 50 * time.Second, Rand: dist.NewRNG(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.jobBaseCache) != 0 {
+		t.Fatal("plan cache not invalidated at period boundary")
+	}
+}
+
+func TestSchedulingIsFast(t *testing.T) {
+	// Table 1: AdaInf schedules a session in ~2 ms. Our implementation
+	// must stay well under that budget even on cold cache.
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	start := time.Now()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		if _, err := s.PlanSession(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := time.Since(start) / rounds
+	if per > 2*time.Millisecond {
+		t.Fatalf("scheduling takes %v per session, budget 2ms", per)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"adainf/internal/drift"
+	"adainf/internal/sched"
+)
+
+// DAGUpdateOverhead is the simulated cost of the periodical DAG update
+// (Table 1: 4.2 s). It runs on the CPU and does not block GPU jobs.
+const DAGUpdateOverhead = 4200 * time.Millisecond
+
+// OnPeriodStart implements sched.Method: AdaInf's periodical data-drift
+// impact detection and retraining-inference DAG generation (§3.2). The
+// resulting DAGs steer PlanSession for the whole period. Under the /U
+// ablation the DAG from the first period is kept forever.
+func (s *Scheduler) OnPeriodStart(ctx *sched.PeriodContext) (*sched.PeriodPlan, error) {
+	if s.dags == nil {
+		s.dags = make(map[string]*sched.RIDag)
+	}
+	// Drift, pools, and impact degrees change at period boundaries:
+	// drop the per-period plan memoization.
+	s.reqFracCache = make(map[reqKey]float64)
+	s.jobBaseCache = make(map[baseKey]*jobBase)
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		name := jr.Instance.App.Name
+		if s.opts.NoDAGUpdate {
+			if _, ok := s.dags[name]; ok {
+				continue // /U: keep the first period's DAG
+			}
+		}
+		reports, err := drift.DetectApp(jr.Instance, drift.Config{}, ctx.Rand)
+		if err != nil {
+			return nil, fmt.Errorf("core: drift detection for %q: %w", name, err)
+		}
+		s.dags[name] = sched.BuildRIDag(jr.Instance.App, reports)
+		s.lastReports[name] = reports
+	}
+	return &sched.PeriodPlan{
+		Overhead:          DAGUpdateOverhead,
+		OverheadBlocksGPU: false, // runs independently in the CPU (§5.1)
+	}, nil
+}
+
+// DagFor returns the current retraining-inference DAG of an
+// application, or nil before the first period hook ran.
+func (s *Scheduler) DagFor(appName string) *sched.RIDag { return s.dags[appName] }
+
+// ReportsFor returns the latest drift reports of an application (for
+// Table 2 style introspection).
+func (s *Scheduler) ReportsFor(appName string) map[string]drift.Report {
+	return s.lastReports[appName]
+}

@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adainf/internal/mathx"
+)
+
+func mustCat(t *testing.T, labels []string, w []float64) *Categorical {
+	t.Helper()
+	c, err := NewCategorical(labels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCategoricalValidation(t *testing.T) {
+	if _, err := NewCategorical(nil, nil); err == nil {
+		t.Error("no error on empty")
+	}
+	if _, err := NewCategorical([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("no error on length mismatch")
+	}
+	if _, err := NewCategorical([]string{"a", "b"}, []float64{1, -1}); err == nil {
+		t.Error("no error on negative weight")
+	}
+	if _, err := NewCategorical([]string{"a"}, []float64{math.NaN()}); err == nil {
+		t.Error("no error on NaN weight")
+	}
+}
+
+func TestCategoricalNormalizes(t *testing.T) {
+	c := mustCat(t, []string{"car", "bus"}, []float64{3, 1})
+	if got := c.Prob(0); got != 0.75 {
+		t.Fatalf("Prob(0) = %v, want 0.75", got)
+	}
+	if c.K() != 2 || c.Label(1) != "bus" {
+		t.Fatalf("K/Label broken: %d %q", c.K(), c.Label(1))
+	}
+}
+
+func TestUniform(t *testing.T) {
+	c, err := Uniform([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if c.Prob(i) != 0.25 {
+			t.Fatalf("Prob(%d) = %v", i, c.Prob(i))
+		}
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	c := mustCat(t, []string{"a", "b", "c"}, []float64{0.6, 0.3, 0.1})
+	rng := NewRNG(17)
+	const n = 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[c.Sample(rng)]++
+	}
+	for i, want := range []float64{0.6, 0.3, 0.1} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("class %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	c := mustCat(t, []string{"a", "b"}, []float64{1, 1})
+	out := c.SampleN(NewRNG(1), 50)
+	if len(out) != 50 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("out-of-range class %d", v)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := mustCat(t, []string{"a", "b"}, []float64{1, 1})
+	cl := c.Clone()
+	cl.probs[0] = 0.9
+	if c.Prob(0) != 0.5 {
+		t.Fatal("Clone shares probability storage")
+	}
+}
+
+func TestProbsReturnsCopy(t *testing.T) {
+	c := mustCat(t, []string{"a", "b"}, []float64{1, 1})
+	p := c.Probs()
+	p[0] = 99
+	if c.Prob(0) != 0.5 {
+		t.Fatal("Probs leaked internal storage")
+	}
+}
+
+func TestJSDivergenceOfCategoricals(t *testing.T) {
+	a := mustCat(t, []string{"x", "y"}, []float64{1, 0})
+	b := mustCat(t, []string{"x", "y"}, []float64{0, 1})
+	if got := a.JSDivergence(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("JS = %v, want 1", got)
+	}
+	if got := a.JSDivergence(a); got != 0 {
+		t.Fatalf("JS self = %v", got)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	a := mustCat(t, []string{"x", "y"}, []float64{1, 0})
+	b := mustCat(t, []string{"x", "y"}, []float64{0, 1})
+	m := a.Blend(b, 0.5)
+	if math.Abs(m.Prob(0)-0.5) > 1e-12 {
+		t.Fatalf("Blend(0.5) = %v", m.Probs())
+	}
+	if got := a.Blend(b, 0); got.Prob(0) != 1 {
+		t.Fatalf("Blend(0) = %v", got.Probs())
+	}
+	if got := a.Blend(b, 1); got.Prob(1) != 1 {
+		t.Fatalf("Blend(1) = %v", got.Probs())
+	}
+	// Clamped outside [0,1].
+	if got := a.Blend(b, 2); got.Prob(1) != 1 {
+		t.Fatalf("Blend(2) = %v", got.Probs())
+	}
+}
+
+func TestZeroLabelDriftIsIdentity(t *testing.T) {
+	c := mustCat(t, []string{"a", "b", "c"}, []float64{5, 3, 2})
+	rng := NewRNG(3)
+	got := LabelDrift{}.Evolve(rng, c)
+	if d := c.JSDivergence(got); d != 0 {
+		t.Fatalf("zero drift changed distribution: JS=%v", d)
+	}
+}
+
+func TestLabelDriftMovesDistribution(t *testing.T) {
+	c := mustCat(t, []string{"a", "b", "c", "d"}, []float64{1, 1, 1, 1})
+	rng := NewRNG(4)
+	d := LabelDrift{WalkSigma: 0.5, ShockProb: 0.3, ShockScale: 2}
+	moved := 0
+	cur := c
+	for i := 0; i < 20; i++ {
+		next := d.Evolve(rng, cur)
+		if cur.JSDivergence(next) > 1e-6 {
+			moved++
+		}
+		cur = next
+	}
+	if moved < 18 {
+		t.Fatalf("drift rarely moved the distribution: %d/20", moved)
+	}
+}
+
+// Property: drift always yields a valid distribution (sums to 1, all
+// probabilities in [0,1]).
+func TestLabelDriftProducesValidDistribution(t *testing.T) {
+	f := func(seed int64, sigmaRaw, shockRaw uint8) bool {
+		rng := NewRNG(seed)
+		c, err := NewCategorical([]string{"a", "b", "c"}, []float64{2, 1, 1})
+		if err != nil {
+			return false
+		}
+		d := LabelDrift{
+			WalkSigma:  float64(sigmaRaw) / 64,
+			ShockProb:  float64(shockRaw%100) / 100,
+			ShockScale: 3,
+		}
+		for i := 0; i < 10; i++ {
+			c = d.Evolve(rng, c)
+			var sum float64
+			for _, p := range c.Probs() {
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelDriftMagnitudeOrdering(t *testing.T) {
+	none := LabelDrift{}
+	mild := LabelDrift{WalkSigma: 0.1}
+	strong := LabelDrift{WalkSigma: 0.3, ShockProb: 0.2, ShockScale: 2}
+	if !(none.Magnitude() < mild.Magnitude() && mild.Magnitude() < strong.Magnitude()) {
+		t.Fatalf("magnitudes not ordered: %v %v %v",
+			none.Magnitude(), mild.Magnitude(), strong.Magnitude())
+	}
+}
+
+func TestLabelDriftDeterministicForSeed(t *testing.T) {
+	c := mustCat(t, []string{"a", "b"}, []float64{1, 1})
+	d := LabelDrift{WalkSigma: 0.4, ShockProb: 0.5, ShockScale: 1}
+	a := d.Evolve(NewRNG(99), c)
+	b := d.Evolve(NewRNG(99), c)
+	if a.JSDivergence(b) != 0 {
+		t.Fatal("same seed produced different drift")
+	}
+}
+
+func TestFeatureDrift(t *testing.T) {
+	mean := []float64{1, 2, 3}
+	rng := NewRNG(5)
+	same := FeatureDrift{}.Evolve(rng, mean)
+	for i := range mean {
+		if same[i] != mean[i] {
+			t.Fatal("zero feature drift changed the mean")
+		}
+	}
+	moved := FeatureDrift{Sigma: 1}.Evolve(rng, mean)
+	if mathx.Norm(mathx.Sub(moved, mean)) == 0 {
+		t.Fatal("feature drift did not move the mean")
+	}
+	if mean[0] != 1 {
+		t.Fatal("Evolve mutated its input")
+	}
+}

@@ -1,0 +1,61 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compress returns a compressed variant of the architecture, standing
+// in for the DeepSpeed compression the paper applies to the larger
+// models before edge deployment (§4). ratio ∈ (0, 1] scales parameter
+// and compute footprints; compression costs a little base accuracy and
+// makes the model markedly less generalizable to new distributions
+// (§1: "compressed DNNs have shallower architectures and fewer
+// weights, they are not generalizable to new data distributions"),
+// which callers should reflect by raising the drift sensitivity of the
+// model's State (see CompressedDriftSensitivity).
+func Compress(a *Arch, ratio float64) (*Arch, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dnn: Compress nil arch")
+	}
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("dnn: compression ratio %g out of (0,1]", ratio)
+	}
+	out := &Arch{
+		Name:       fmt.Sprintf("%s-c%02.0f", a.Name, ratio*100),
+		InputBytes: a.InputBytes,
+		// Accuracy cost grows smoothly as the model shrinks: ~1.5% at
+		// 2× compression, ~4% at 4×.
+		BaseAccuracy:  a.BaseAccuracy * (1 - 0.06*math.Pow(1-ratio, 1.5)),
+		GuessAccuracy: a.GuessAccuracy,
+		Layers:        make([]Layer, len(a.Layers)),
+	}
+	for i, l := range a.Layers {
+		out.Layers[i] = Layer{
+			Name:     l.Name,
+			FwdFLOPs: l.FwdFLOPs * ratio,
+			// Parameters shrink with the ratio; activations shrink
+			// more slowly (spatial dimensions survive channel pruning).
+			ParamBytes:      int64(float64(l.ParamBytes) * ratio),
+			ActivationBytes: int64(float64(l.ActivationBytes) * math.Sqrt(ratio)),
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("dnn: compressed arch invalid: %w", err)
+	}
+	return out, nil
+}
+
+// CompressedDriftSensitivity returns the drift-sensitivity exponent η a
+// model compressed to the ratio should use: smaller models degrade
+// faster under distribution shift.
+func CompressedDriftSensitivity(ratio float64) float64 {
+	if ratio >= 1 {
+		return DefaultDriftSensitivity
+	}
+	if ratio <= 0 {
+		ratio = 0.01
+	}
+	// Full model η=1.5 rising toward η≈3 at aggressive compression.
+	return DefaultDriftSensitivity * (1 + (1-ratio)*1.0)
+}

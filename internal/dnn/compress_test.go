@@ -1,0 +1,101 @@
+package dnn
+
+import (
+	"testing"
+
+	"adainf/internal/dist"
+)
+
+func TestCompressValidation(t *testing.T) {
+	if _, err := Compress(nil, 0.5); err == nil {
+		t.Error("nil arch accepted")
+	}
+	a := ResNet18()
+	for _, r := range []float64{0, -1, 1.5} {
+		if _, err := Compress(a, r); err == nil {
+			t.Errorf("ratio %v accepted", r)
+		}
+	}
+}
+
+func TestCompressShrinksFootprint(t *testing.T) {
+	full := ResNet18()
+	half, err := Compress(full, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Name == full.Name {
+		t.Error("compressed arch kept the original name")
+	}
+	if got, want := half.TotalParamBytes(), full.TotalParamBytes(); got >= want {
+		t.Errorf("params did not shrink: %d vs %d", got, want)
+	}
+	fullFLOPs := full.ForwardFLOPs(full.NumLayers())
+	halfFLOPs := half.ForwardFLOPs(half.NumLayers())
+	if halfFLOPs >= fullFLOPs {
+		t.Errorf("compute did not shrink: %v vs %v", halfFLOPs, fullFLOPs)
+	}
+	// Activations shrink more slowly than parameters.
+	actRatio := float64(half.TotalActivationBytes()) / float64(full.TotalActivationBytes())
+	parRatio := float64(half.TotalParamBytes()) / float64(full.TotalParamBytes())
+	if actRatio <= parRatio {
+		t.Errorf("activation ratio %v should exceed param ratio %v", actRatio, parRatio)
+	}
+	// Modest accuracy cost, never below the guess floor.
+	if half.BaseAccuracy >= full.BaseAccuracy {
+		t.Error("compression cost no accuracy")
+	}
+	if half.BaseAccuracy < full.BaseAccuracy-0.05 {
+		t.Errorf("compression too lossy: %v", half.BaseAccuracy)
+	}
+}
+
+func TestCompressIdentityAtRatioOne(t *testing.T) {
+	full := ShuffleNet()
+	same, err := Compress(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.BaseAccuracy != full.BaseAccuracy {
+		t.Errorf("ratio 1 changed accuracy: %v vs %v", same.BaseAccuracy, full.BaseAccuracy)
+	}
+	if same.TotalParamBytes() != full.TotalParamBytes() {
+		t.Error("ratio 1 changed parameters")
+	}
+}
+
+func TestCompressedDriftSensitivity(t *testing.T) {
+	if got := CompressedDriftSensitivity(1); got != DefaultDriftSensitivity {
+		t.Fatalf("uncompressed sensitivity = %v", got)
+	}
+	half := CompressedDriftSensitivity(0.5)
+	quarter := CompressedDriftSensitivity(0.25)
+	if !(half > DefaultDriftSensitivity && quarter > half) {
+		t.Fatalf("sensitivity not increasing with compression: %v %v", half, quarter)
+	}
+	if got := CompressedDriftSensitivity(-1); got <= 0 {
+		t.Fatalf("degenerate ratio sensitivity = %v", got)
+	}
+}
+
+func TestCompressedModelDegradesFasterUnderDrift(t *testing.T) {
+	full := ResNet18()
+	half, err := Compress(full, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"a", "b", "c", "d"}
+	initial, _ := dist.NewCategorical(labels, []float64{8, 1, 0.5, 0.5})
+	live, _ := dist.NewCategorical(labels, []float64{2, 1, 4, 3})
+
+	sFull := NewState(full, initial)
+	sHalf := NewState(half, initial)
+	sHalf.SetDriftSensitivity(CompressedDriftSensitivity(0.5))
+
+	lossFull := full.BaseAccuracy - sFull.Accuracy(live)
+	lossHalf := half.BaseAccuracy - sHalf.Accuracy(live)
+	if lossHalf <= lossFull {
+		t.Fatalf("compressed model lost %v under drift, full model %v — should be worse (§1)",
+			lossHalf, lossFull)
+	}
+}

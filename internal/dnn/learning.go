@@ -1,0 +1,231 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"adainf/internal/dist"
+	"adainf/internal/mathx"
+)
+
+// Default learning-dynamics constants. They are calibrated so one
+// period's retraining pool can recover most of a drift-induced accuracy
+// loss — the regime the paper operates in.
+const (
+	// DefaultKappaSamples is the learning-curve constant κ: training on
+	// k effective samples closes fraction 1−exp(−k/κ) of the knowledge
+	// gap.
+	DefaultKappaSamples = 200.0
+	// DefaultDriftSensitivity is the exponent η shaping how fast
+	// accuracy falls as a class becomes unfamiliar. Compressed models
+	// generalize poorly to new distributions (§1), so η > 1.
+	DefaultDriftSensitivity = 1.5
+	// DivergentSelectionBoost is the efficiency multiplier earned by
+	// retraining on the samples that deviate most from the old training
+	// data (§3.2), relative to uniformly chosen samples. The divergent
+	// samples are exactly the surged-class samples the model gets wrong
+	// (verified by the detector's ranking), so training on them is
+	// several times more sample-efficient than uniform replay — the
+	// classic active-learning gain the paper's selection exploits.
+	DivergentSelectionBoost = 3.0
+)
+
+// State is a model's evolving knowledge: the class distribution the
+// deployed parameters currently reflect. Accuracy is highest when the
+// knowledge matches the live distribution and falls as classes surge
+// beyond what the model has seen (data drift).
+type State struct {
+	arch        *Arch
+	knowledge   *dist.Categorical
+	kappa       float64
+	sensitivity float64
+}
+
+// NewState creates a model state whose parameters were just trained on
+// initial (the initial 40% of the dataset in the paper's setup).
+func NewState(arch *Arch, initial *dist.Categorical) *State {
+	if arch == nil {
+		panic("dnn: NewState with nil arch")
+	}
+	if initial == nil {
+		panic("dnn: NewState with nil initial distribution")
+	}
+	return &State{
+		arch:        arch,
+		knowledge:   initial.Clone(),
+		kappa:       DefaultKappaSamples,
+		sensitivity: DefaultDriftSensitivity,
+	}
+}
+
+// Arch returns the model's architecture.
+func (s *State) Arch() *Arch { return s.arch }
+
+// Knowledge returns the class distribution the model currently
+// reflects (copy).
+func (s *State) Knowledge() *dist.Categorical { return s.knowledge.Clone() }
+
+// SetKappa overrides the learning-curve constant (samples to close
+// ~63% of a knowledge gap). It panics on a non-positive value.
+func (s *State) SetKappa(kappa float64) {
+	if kappa <= 0 {
+		panic(fmt.Sprintf("dnn: kappa %g must be positive", kappa))
+	}
+	s.kappa = kappa
+}
+
+// SetDriftSensitivity overrides the drift-sensitivity exponent η.
+func (s *State) SetDriftSensitivity(eta float64) {
+	if eta <= 0 {
+		panic(fmt.Sprintf("dnn: sensitivity %g must be positive", eta))
+	}
+	s.sensitivity = eta
+}
+
+// ClassAccuracy returns the probability the model classifies a sample
+// of class c correctly when the live class mix is live, using the full
+// structure. Familiarity of class c is min(1, known(c)/live(c)): a
+// class appearing more often than the model was trained on drags
+// accuracy toward the guess floor.
+func (s *State) ClassAccuracy(c int, live *dist.Categorical) float64 {
+	const eps = 1e-9
+	p := live.Prob(c)
+	if p < eps {
+		return s.arch.BaseAccuracy
+	}
+	familiarity := math.Min(1, s.knowledge.Prob(c)/p)
+	f := math.Pow(familiarity, s.sensitivity)
+	return s.arch.GuessAccuracy + (s.arch.BaseAccuracy-s.arch.GuessAccuracy)*f
+}
+
+// Accuracy returns the expected accuracy over the live distribution
+// with the full structure: Σ_c live(c) · ClassAccuracy(c).
+func (s *State) Accuracy(live *dist.Categorical) float64 {
+	var a float64
+	for c := 0; c < live.K(); c++ {
+		a += live.Prob(c) * s.ClassAccuracy(c, live)
+	}
+	return a
+}
+
+// AccuracyWith returns the expected accuracy when serving through the
+// given structure (early exits multiply accuracy by their factor, with
+// the guess floor preserved).
+func (s *State) AccuracyWith(live *dist.Categorical, st Structure) float64 {
+	a := s.Accuracy(live) * st.AccuracyFactor()
+	return math.Max(a, s.arch.GuessAccuracy)
+}
+
+// CorrectProb returns the probability that a single sample of class c
+// is classified correctly through structure st under live mix live.
+// Callers draw a Bernoulli with this probability to score individual
+// requests.
+func (s *State) CorrectProb(c int, live *dist.Categorical, st Structure) float64 {
+	p := s.ClassAccuracy(c, live) * st.AccuracyFactor()
+	return mathx.Clamp(math.Max(p, s.arch.GuessAccuracy), 0, 1)
+}
+
+// LearningFraction maps a number of effective training samples to the
+// fraction of the knowledge gap the training closes: 1 − exp(−k/κ).
+func (s *State) LearningFraction(effectiveSamples float64) float64 {
+	if effectiveSamples <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-effectiveSamples/s.kappa)
+}
+
+// Train retrains the model toward the target class distribution using
+// effectiveSamples of training exposure (samples × epochs × selection
+// boost). The knowledge moves fraction LearningFraction toward target.
+// Incremental retraining is exactly repeated Train calls with small
+// sample counts — the knowledge converges the same place continual
+// whole-pool retraining does, but every intermediate inference already
+// benefits.
+func (s *State) Train(target *dist.Categorical, effectiveSamples float64) {
+	if effectiveSamples <= 0 {
+		return
+	}
+	s.knowledge = s.knowledge.Blend(target, s.LearningFraction(effectiveSamples))
+}
+
+// Clone returns an independent copy of the state (a model "version").
+func (s *State) Clone() *State {
+	return &State{
+		arch:        s.arch,
+		knowledge:   s.knowledge.Clone(),
+		kappa:       s.kappa,
+		sensitivity: s.sensitivity,
+	}
+}
+
+// AverageStates implements the paper's cross-job version averaging:
+// when a job starts retraining a model that other jobs have partially
+// retrained, it begins from the average of the versions' parameters
+// (§3.3.2). In knowledge space that is the mean of the versions' class
+// distributions. It panics on an empty input or mismatched
+// architectures.
+func AverageStates(states []*State) *State {
+	if len(states) == 0 {
+		panic("dnn: AverageStates of nothing")
+	}
+	first := states[0]
+	probs := make([]float64, first.knowledge.K())
+	for _, st := range states {
+		if st.arch.Name != first.arch.Name {
+			panic(fmt.Sprintf("dnn: AverageStates across architectures %q and %q",
+				first.arch.Name, st.arch.Name))
+		}
+		for i, p := range st.knowledge.Probs() {
+			probs[i] += p
+		}
+	}
+	avg, err := dist.NewCategorical(first.knowledge.Labels(), probs)
+	if err != nil {
+		panic(fmt.Sprintf("dnn: AverageStates produced invalid distribution: %v", err))
+	}
+	return &State{
+		arch:        first.arch,
+		knowledge:   avg,
+		kappa:       first.kappa,
+		sensitivity: first.sensitivity,
+	}
+}
+
+// RetrainSetting is one retraining configuration the scheduler can
+// choose: how many samples, the training batch size, and epochs
+// (§3.3.2, "retraining setting").
+type RetrainSetting struct {
+	Samples   int
+	BatchSize int
+	Epochs    int
+}
+
+// EffectiveSamples returns the training exposure of the setting:
+// samples × epochs, optionally boosted when the samples were chosen by
+// divergence rather than uniformly.
+func (r RetrainSetting) EffectiveSamples(divergentSelection bool) float64 {
+	eff := float64(r.Samples) * float64(r.Epochs)
+	if divergentSelection {
+		eff *= DivergentSelectionBoost
+	}
+	return eff
+}
+
+// TrainWork returns the total training FLOPs of running the setting on
+// the architecture.
+func (r RetrainSetting) TrainWork(arch *Arch) float64 {
+	return arch.TrainFLOPs() * float64(r.Samples) * float64(r.Epochs)
+}
+
+// DefaultRetrainSettings enumerates the setting grid the offline
+// profiler sweeps: sample counts × epochs at a fixed efficient batch
+// size.
+func DefaultRetrainSettings() []RetrainSetting {
+	var out []RetrainSetting
+	for _, samples := range []int{25, 50, 100, 200, 400, 800} {
+		for _, epochs := range []int{1, 2, 4} {
+			out = append(out, RetrainSetting{Samples: samples, BatchSize: 32, Epochs: epochs})
+		}
+	}
+	return out
+}

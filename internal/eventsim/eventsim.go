@@ -1,0 +1,183 @@
+// Package eventsim implements a small discrete-event simulation engine.
+//
+// The engine maintains virtual time as a simtime.Instant and a priority
+// queue of scheduled events. Handlers run synchronously when the engine
+// reaches their instant; a handler may schedule further events. Events
+// at the same instant fire in scheduling order (FIFO), which keeps runs
+// deterministic for a fixed seed.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"adainf/internal/simtime"
+)
+
+// Handler is an event callback. It runs with the engine's clock set to
+// the event's instant.
+type Handler func(now simtime.Instant)
+
+// Event is a scheduled callback, returned by Schedule so callers can
+// cancel it.
+type Event struct {
+	at      simtime.Instant
+	seq     uint64
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	cancel  bool
+	engine  *Engine
+	label   string
+	repeats simtime.Duration // non-zero for periodic events
+}
+
+// At returns the instant the event is (or was) scheduled for.
+func (e *Event) At() simtime.Instant { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call New.
+type Engine struct {
+	now    simtime.Instant
+	queue  eventQueue
+	seq    uint64
+	nFired uint64
+}
+
+// New returns an engine with its clock at instant zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() simtime.Instant { return e.now }
+
+// Fired returns how many events have fired so far (diagnostics).
+func (e *Engine) Fired() uint64 { return e.nFired }
+
+// Pending returns the number of scheduled, not-yet-fired events
+// (cancelled events still in the queue are counted until drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at instant at. It panics if at is before
+// the current time. The label is used in diagnostics only.
+func (e *Engine) Schedule(at simtime.Instant, label string, fn Handler) *Event {
+	if at.Before(e.now) {
+		panic(fmt.Sprintf("eventsim: schedule %q at %v before now %v", label, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run d after the current time.
+func (e *Engine) ScheduleAfter(d simtime.Duration, label string, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v for %q", d, label))
+	}
+	return e.Schedule(e.now.Add(d), label, fn)
+}
+
+// ScheduleEvery registers fn to run first at instant at and then every
+// period thereafter, until the returned event is cancelled.
+func (e *Engine) ScheduleEvery(at simtime.Instant, period simtime.Duration, label string, fn Handler) *Event {
+	if period <= 0 {
+		panic(fmt.Sprintf("eventsim: non-positive period %v for %q", period, label))
+	}
+	ev := e.Schedule(at, label, fn)
+	ev.repeats = period
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its instant.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.nFired++
+		ev.fn(e.now)
+		if ev.repeats > 0 && !ev.cancel {
+			ev.at = ev.at.Add(ev.repeats)
+			ev.seq = e.seq
+			e.seq++
+			heap.Push(&e.queue, ev)
+		}
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue empties or the next
+// event would be after the deadline. The clock finishes at the deadline
+// (or at the last event if the queue drained first and RunUntil was
+// given a deadline in the past of remaining events). It returns the
+// number of events fired.
+func (e *Engine) RunUntil(deadline simtime.Instant) uint64 {
+	start := e.nFired
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if deadline.After(e.now) {
+		e.now = deadline
+	}
+	return e.nFired - start
+}
+
+// Run fires events until the queue is empty and returns the number of
+// events fired. Periodic events make Run non-terminating; use RunUntil
+// with them.
+func (e *Engine) Run() uint64 {
+	start := e.nFired
+	for e.Step() {
+	}
+	return e.nFired - start
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

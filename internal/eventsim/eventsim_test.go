@@ -1,0 +1,183 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+
+	"adainf/internal/simtime"
+)
+
+func at(ms int) simtime.Instant {
+	return simtime.Instant(time.Duration(ms) * time.Millisecond)
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(at(30), "c", func(simtime.Instant) { order = append(order, 3) })
+	e.Schedule(at(10), "a", func(simtime.Instant) { order = append(order, 1) })
+	e.Schedule(at(20), "b", func(simtime.Instant) { order = append(order, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run fired %d, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != at(30) {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(at(5), "tie", func(simtime.Instant) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	e := New()
+	var hits int
+	var recur Handler
+	recur = func(now simtime.Instant) {
+		hits++
+		if hits < 5 {
+			e.ScheduleAfter(time.Millisecond, "recur", recur)
+		}
+	}
+	e.Schedule(at(0), "start", recur)
+	e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != at(4) {
+		t.Fatalf("Now = %v, want 4ms", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(at(10), "x", func(simtime.Instant) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice is a no-op.
+	ev.Cancel()
+}
+
+func TestCancelFromEarlierHandler(t *testing.T) {
+	e := New()
+	fired := false
+	later := e.Schedule(at(20), "later", func(simtime.Instant) { fired = true })
+	e.Schedule(at(10), "earlier", func(simtime.Instant) { later.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []int
+	for _, ms := range []int{5, 15, 25} {
+		ms := ms
+		e.Schedule(at(ms), "e", func(simtime.Instant) { fired = append(fired, ms) })
+	}
+	n := e.RunUntil(at(15))
+	if n != 2 {
+		t.Fatalf("RunUntil fired %d, want 2", n)
+	}
+	if e.Now() != at(15) {
+		t.Fatalf("Now = %v, want 15ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Deadline with no events still advances the clock.
+	e.RunUntil(at(20))
+	if e.Now() != at(20) {
+		t.Fatalf("Now = %v, want 20ms", e.Now())
+	}
+	e.RunUntil(at(100))
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestScheduleEvery(t *testing.T) {
+	e := New()
+	var times []simtime.Instant
+	ev := e.ScheduleEvery(at(0), 10*time.Millisecond, "tick", func(now simtime.Instant) {
+		times = append(times, now)
+	})
+	e.RunUntil(at(35))
+	if len(times) != 4 { // 0, 10, 20, 30
+		t.Fatalf("ticks = %v", times)
+	}
+	ev.Cancel()
+	before := len(times)
+	e.RunUntil(at(100))
+	if len(times) != before {
+		t.Fatal("cancelled periodic event kept firing")
+	}
+}
+
+func TestPeriodicEventCancelledInsideHandler(t *testing.T) {
+	e := New()
+	count := 0
+	var ev *Event
+	ev = e.ScheduleEvery(at(0), 10*time.Millisecond, "tick", func(simtime.Instant) {
+		count++
+		if count == 3 {
+			ev.Cancel()
+		}
+	})
+	e.RunUntil(at(1000))
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(at(10), "x", func(simtime.Instant) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	e.Schedule(at(5), "past", func(simtime.Instant) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	e.ScheduleAfter(-time.Millisecond, "neg", func(simtime.Instant) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(at(i), "e", func(simtime.Instant) {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}

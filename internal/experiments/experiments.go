@@ -1,0 +1,217 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2 experimental analysis and §5 performance evaluation).
+// Each Fig*/Table* function is a self-contained runner that returns a
+// Result of labelled series and tables; cmd/repro renders them and
+// bench_test.go wraps them as benchmarks.
+//
+// The experiment index, the workload behind each artifact, and the
+// expected shapes are catalogued in DESIGN.md; measured-vs-paper
+// outcomes are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+	"adainf/internal/serving"
+	"adainf/internal/simtime"
+)
+
+// Options tunes experiment scale. The zero value reproduces the default
+// setup: 10 periods (500 s), 8 applications, 4 GPUs, 250 req/s per app.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Horizon is the serving duration; zero defaults to 500 s.
+	Horizon simtime.Duration
+	// Rate is the mean request rate per application; zero → 250 req/s.
+	Rate float64
+	// Pool is the per-node retraining pool; zero → 8000.
+	Pool int
+	// Quick shrinks runs for benchmarks (3 periods, lower rate).
+	Quick bool
+}
+
+func (o *Options) fill() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 500 * time.Second
+	}
+	if o.Rate == 0 {
+		o.Rate = 250
+	}
+	if o.Pool == 0 {
+		o.Pool = 8000
+	}
+	if o.Quick {
+		o.Horizon = 150 * time.Second
+		o.Rate = 150
+		o.Pool = 2000
+	}
+}
+
+// Series is one labelled data series of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is one rendered table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is a reproduced artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Series []Series
+	Tables []Table
+	Notes  []string
+}
+
+// Render writes a plain-text rendering of the result.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, tb := range r.Tables {
+		if tb.Title != "" {
+			fmt.Fprintf(w, "-- %s --\n", tb.Title)
+		}
+		widths := make([]int, len(tb.Header))
+		for i, h := range tb.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range tb.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = pad(c, widths[i])
+			}
+			fmt.Fprintln(w, strings.Join(parts, "  "))
+		}
+		line(tb.Header)
+		for _, row := range tb.Rows {
+			line(row)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "series %q (%d points)\n", s.Label, len(s.Y))
+		n := len(s.Y)
+		step := 1
+		if n > 12 {
+			step = n / 12
+		}
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(w, "  x=%-10.4g y=%.4g\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// memoryConfig bundles the §3.4 memory behaviour of a method variant.
+type memoryConfig struct {
+	name     string
+	strategy gpu.Strategy
+	policy   func() gpumem.Policy
+}
+
+func adaMemory(alpha float64) memoryConfig {
+	return memoryConfig{
+		name:     fmt.Sprintf("ada-a%.2f", alpha),
+		strategy: gpu.Strategy{MaximizeUsage: true},
+		policy:   func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: alpha} },
+	}
+}
+
+func m1Memory() memoryConfig {
+	return memoryConfig{
+		name:     "m1",
+		strategy: gpu.Strategy{MaximizeUsage: false},
+		policy:   func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} },
+	}
+}
+
+func m2Memory() memoryConfig {
+	return memoryConfig{
+		name:     "m2",
+		strategy: gpu.Strategy{MaximizeUsage: true},
+		policy:   func() gpumem.Policy { return gpumem.LRUPolicy{} },
+	}
+}
+
+// profileCache shares built profiles across experiments: the offline
+// profiling of §3.3 happens once per memory configuration.
+var profileCache sync.Map // key string -> map[string]*profile.AppProfile
+
+func profilesFor(apps []*app.App, mem memoryConfig) (map[string]*profile.AppProfile, error) {
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	key := mem.name + "|" + strings.Join(names, ",")
+	if v, ok := profileCache.Load(key); ok {
+		return v.(map[string]*profile.AppProfile), nil
+	}
+	p, err := serving.BuildProfiles(apps, mem.strategy, mem.policy)
+	if err != nil {
+		return nil, err
+	}
+	profileCache.Store(key, p)
+	return p, nil
+}
+
+// run executes one serving simulation with the standard knobs.
+func run(o Options, apps []*app.App, m sched.Method, gpus float64,
+	retrain, divergent bool, mem memoryConfig) (*serving.Result, error) {
+
+	profs, err := profilesFor(apps, mem)
+	if err != nil {
+		return nil, err
+	}
+	return serving.Run(serving.Config{
+		Apps:               apps,
+		Method:             m,
+		GPUs:               gpus,
+		Horizon:            o.Horizon,
+		Seed:               o.Seed,
+		RatePerApp:         o.Rate,
+		Retraining:         retrain,
+		DivergentSelection: divergent,
+		MemStrategy:        mem.strategy,
+		NewPolicy:          mem.policy,
+		PoolSamples:        o.Pool,
+		Profiles:           profs,
+	})
+}

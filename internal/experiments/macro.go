@@ -1,0 +1,471 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adainf/internal/app"
+	"adainf/internal/baselines"
+	"adainf/internal/core"
+	"adainf/internal/mathx"
+	"adainf/internal/sched"
+	"adainf/internal/serving"
+)
+
+// method constructs a fresh scheduler per run (schedulers hold
+// per-period state and must not be shared across runs).
+type method struct {
+	label     string
+	build     func() sched.Method
+	retrain   bool
+	divergent bool
+	mem       memoryConfig
+}
+
+func adaInf() method {
+	return method{
+		label:   "AdaInf",
+		build:   func() sched.Method { return core.New(core.Options{}) },
+		retrain: true, divergent: true, mem: adaMemory(0.4),
+	}
+}
+
+func ekya() method {
+	return method{
+		label:   "Ekya",
+		build:   func() sched.Method { return baselines.NewEkya() },
+		retrain: true, mem: adaMemory(0.4),
+	}
+}
+
+func scrooge(star bool) method {
+	label := "Scrooge"
+	if star {
+		label = "Scrooge*"
+	}
+	return method{
+		label:   label,
+		build:   func() sched.Method { return baselines.NewScrooge(star) },
+		retrain: true, mem: adaMemory(0.4),
+	}
+}
+
+func noRetrain() method {
+	return method{
+		label: "w/o retraining",
+		build: func() sched.Method { return core.New(core.Options{Label: "w/o retraining"}) },
+		mem:   adaMemory(0.4),
+	}
+}
+
+func (m method) run(o Options, apps []*app.App, gpus float64) (*serving.Result, error) {
+	return run(o, apps, m.build(), gpus, m.retrain, m.divergent, m.mem)
+}
+
+func periodsX(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+func secondsX(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+// Fig4 reproduces Fig. 4: (a) per-period accuracy of the
+// video-surveillance application with and without retraining, and (b)
+// the fraction of requests served by an updated model under Ekya.
+func Fig4(o Options) (*Result, error) {
+	o.fill()
+	apps := []*app.App{app.VideoSurveillance()}
+	withR, err := adaInf().run(o, apps, 1)
+	if err != nil {
+		return nil, err
+	}
+	withoutR, err := noRetrain().run(o, apps, 1)
+	if err != nil {
+		return nil, err
+	}
+	ek, err := ekya().run(o, apps, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "fig4",
+		Title: "Impact of data drift on the application",
+		Series: []Series{
+			{Label: "4a accuracy w/ retraining", X: periodsX(len(withR.PeriodAccuracy)), Y: withR.PeriodAccuracy},
+			{Label: "4a accuracy w/o retraining", X: periodsX(len(withoutR.PeriodAccuracy)), Y: withoutR.PeriodAccuracy},
+			{Label: "4b Ekya requests using updated model", X: periodsX(len(ek.UpdatedModelFraction)), Y: ek.UpdatedModelFraction},
+		},
+	}
+	var maxGap float64
+	for i := range withR.PeriodAccuracy {
+		if g := withR.PeriodAccuracy[i] - withoutR.PeriodAccuracy[i]; g > maxGap {
+			maxGap = g
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("retraining adds up to %.1f%% accuracy (paper: 0-27%%)", maxGap*100),
+		fmt.Sprintf("Ekya updated-model fraction mean %.0f%% (paper: 53-60%%)",
+			mathx.MeanOf(ek.UpdatedModelFraction)*100))
+	return res, nil
+}
+
+// Fig7 reproduces Fig. 7: accuracy of Early-inc (AdaInf), Full-inc
+// (AdaInf/E), Early-w/o (early exits, no retraining), and Ekya; plus
+// the per-period retraining time and sample fraction of Early-inc and
+// Ekya (7b).
+func Fig7(o Options) (*Result, error) {
+	o.fill()
+	apps := []*app.App{app.VideoSurveillance()}
+	arms := []method{
+		adaInf(),
+		{
+			label:   "Full-inc",
+			build:   func() sched.Method { return core.New(core.Options{FullStructureOnly: true, Label: "Full-inc"}) },
+			retrain: true, divergent: true, mem: adaMemory(0.4),
+		},
+		{
+			label: "Early-w/o",
+			build: func() sched.Method { return core.New(core.Options{PreferEarlyExit: true, Label: "Early-w/o"}) },
+			mem:   adaMemory(0.4),
+		},
+		ekya(),
+	}
+	res := &Result{ID: "fig7", Title: "Early-exit structure with incremental retraining"}
+	var early, ek *serving.Result
+	for _, m := range arms {
+		r, err := m.run(o, apps, 1)
+		if err != nil {
+			return nil, err
+		}
+		label := m.label
+		if label == "AdaInf" {
+			label = "Early-inc"
+			early = r
+		}
+		if m.label == "Ekya" {
+			ek = r
+		}
+		res.Series = append(res.Series, Series{
+			Label: "7a accuracy " + label,
+			X:     periodsX(len(r.PeriodAccuracy)), Y: r.PeriodAccuracy,
+		})
+	}
+	res.Series = append(res.Series,
+		Series{Label: "7b retraining time (s) Early-inc", X: periodsX(len(early.RetrainTimePerPeriodS)), Y: early.RetrainTimePerPeriodS},
+		Series{Label: "7b retraining samples (frac) Early-inc", X: periodsX(len(early.RetrainSampleFraction)), Y: early.RetrainSampleFraction},
+		Series{Label: "7b retraining time (s) Ekya", X: periodsX(len(ek.RetrainTimePerPeriodS)), Y: ek.RetrainTimePerPeriodS},
+		Series{Label: "7b retraining samples (frac) Ekya", X: periodsX(len(ek.RetrainSampleFraction)), Y: ek.RetrainSampleFraction},
+	)
+	return res, nil
+}
+
+// comparisonMethods are the §5.1 contenders.
+func comparisonMethods() []method {
+	return []method{adaInf(), ekya(), scrooge(false), scrooge(true)}
+}
+
+// Fig18 reproduces Fig. 18: accuracy of the methods (a) over time with
+// the default setup, (b) vs the number of applications, and (c) vs the
+// number of GPUs.
+func Fig18(o Options) (*Result, error) {
+	return comparisonSweep(o, "fig18", "Accuracy comparison", func(r *serving.Result) []float64 {
+		return r.PeriodAccuracy
+	}, func(r *serving.Result) float64 {
+		return r.MeanAccuracy
+	})
+}
+
+// Fig19 reproduces Fig. 19: finish rate of the methods across the same
+// three sweeps.
+func Fig19(o Options) (*Result, error) {
+	return comparisonSweep(o, "fig19", "Finish rate comparison", func(r *serving.Result) []float64 {
+		return r.FinishRateWindows
+	}, func(r *serving.Result) float64 {
+		return r.MeanFinishRate
+	})
+}
+
+func comparisonSweep(o Options, id, title string,
+	series func(*serving.Result) []float64, mean func(*serving.Result) float64) (*Result, error) {
+
+	o.fill()
+	res := &Result{ID: id, Title: title}
+	// (a) time series with the default 8 apps / 4 GPUs.
+	defaultApps := app.Catalog()
+	for _, m := range comparisonMethods() {
+		r, err := m.run(o, defaultApps, 4)
+		if err != nil {
+			return nil, err
+		}
+		ys := series(r)
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("(a) %s over time", m.label),
+			X:     secondsX(len(ys)), Y: ys,
+		})
+	}
+	// (b) number of applications.
+	appCounts := []int{2, 4, 6, 8, 10}
+	if o.Quick {
+		appCounts = []int{2, 8}
+	}
+	tableB := Table{
+		Title:  "(b) mean vs number of applications",
+		Header: append([]string{"method"}, intHeaders(appCounts)...),
+	}
+	for _, m := range comparisonMethods() {
+		row := []string{m.label}
+		for _, n := range appCounts {
+			apps, err := app.CatalogN(n)
+			if err != nil {
+				return nil, err
+			}
+			r, err := m.run(o, apps, 4)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", mean(r)))
+		}
+		tableB.Rows = append(tableB.Rows, row)
+	}
+	res.Tables = append(res.Tables, tableB)
+	// (c) number of GPUs.
+	gpuCounts := []float64{1, 4, 8, 16}
+	if o.Quick {
+		gpuCounts = []float64{1, 4}
+	}
+	tableC := Table{
+		Title:  "(c) mean vs number of GPUs",
+		Header: append([]string{"method"}, floatHeaders(gpuCounts)...),
+	}
+	for _, m := range comparisonMethods() {
+		row := []string{m.label}
+		for _, g := range gpuCounts {
+			r, err := m.run(o, defaultApps, g)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", mean(r)))
+		}
+		tableC.Rows = append(tableC.Rows, row)
+	}
+	res.Tables = append(res.Tables, tableC)
+	return res, nil
+}
+
+func intHeaders(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+func floatHeaders(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%g", x)
+	}
+	return out
+}
+
+// Fig20 reproduces Fig. 20: average retraining and inference latency
+// per job for each method.
+func Fig20(o Options) (*Result, error) {
+	o.fill()
+	res := &Result{ID: "fig20", Title: "Average latency for retraining and inference"}
+	tb := Table{Header: []string{"method", "inference (ms)", "retraining (ms)"}}
+	for _, m := range comparisonMethods() {
+		r, err := m.run(o, app.Catalog(), 4)
+		if err != nil {
+			return nil, err
+		}
+		tb.Rows = append(tb.Rows, []string{
+			m.label,
+			fmt.Sprintf("%.1f", r.MeanInferLatencyMs),
+			fmt.Sprintf("%.1f", r.MeanRetrainLatencyMs),
+		})
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"baselines retrain in whole-period jobs, so their per-job retraining latency is reported as 0; their retraining cost appears in Fig. 7b/Table 1 instead")
+	return res, nil
+}
+
+// Fig21 reproduces Fig. 21: GPU utilization per second per method.
+func Fig21(o Options) (*Result, error) {
+	o.fill()
+	res := &Result{ID: "fig21", Title: "GPU utilization"}
+	for _, m := range comparisonMethods() {
+		r, err := m.run(o, app.Catalog(), 4)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: m.label,
+			X:     secondsX(len(r.UtilizationPerSec)), Y: r.UtilizationPerSec,
+		})
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%s mean utilization %.0f%%", m.label, mathx.MeanOf(r.UtilizationPerSec)*100))
+	}
+	return res, nil
+}
+
+// Fig22 reproduces Fig. 22: accuracy and finish rate of AdaInf and its
+// ablation variants /I /U /S /E /M1 /M2 (§5.2).
+func Fig22(o Options) (*Result, error) {
+	o.fill()
+	variants := []method{
+		adaInf(),
+		{label: "AdaInf/I", build: func() sched.Method {
+			return core.New(core.Options{EqualRetrainSplit: true, Label: "AdaInf/I"})
+		}, retrain: true, divergent: true, mem: adaMemory(0.4)},
+		{label: "AdaInf/U", build: func() sched.Method {
+			return core.New(core.Options{NoDAGUpdate: true, Label: "AdaInf/U"})
+		}, retrain: true, divergent: true, mem: adaMemory(0.4)},
+		{label: "AdaInf/S", build: func() sched.Method {
+			return core.New(core.Options{EqualSpaceSplit: true, Label: "AdaInf/S"})
+		}, retrain: true, divergent: true, mem: adaMemory(0.4)},
+		{label: "AdaInf/E", build: func() sched.Method {
+			return core.New(core.Options{FullStructureOnly: true, Label: "AdaInf/E"})
+		}, retrain: true, divergent: true, mem: adaMemory(0.4)},
+		{label: "AdaInf/M1", build: func() sched.Method {
+			return core.New(core.Options{Label: "AdaInf/M1"})
+		}, retrain: true, divergent: true, mem: m1Memory()},
+		{label: "AdaInf/M2", build: func() sched.Method {
+			return core.New(core.Options{Label: "AdaInf/M2"})
+		}, retrain: true, divergent: true, mem: m2Memory()},
+	}
+	res := &Result{ID: "fig22", Title: "Performance of different variants of AdaInf"}
+	tb := Table{Header: []string{"variant", "accuracy", "finish rate"}}
+	for _, m := range variants {
+		r, err := m.run(o, app.Catalog(), 4)
+		if err != nil {
+			return nil, err
+		}
+		tb.Rows = append(tb.Rows, []string{
+			m.label,
+			fmt.Sprintf("%.3f", r.MeanAccuracy),
+			fmt.Sprintf("%.3f", r.MeanFinishRate),
+		})
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// Fig23 reproduces Fig. 23: accuracy and finish rate for different
+// values of the eviction-score weight α (§3.4.2).
+func Fig23(o Options) (*Result, error) {
+	o.fill()
+	res := &Result{ID: "fig23", Title: "Influence of α"}
+	tb := Table{Header: []string{"alpha", "accuracy", "finish rate"}}
+	alphas := []float64{0.2, 0.4, 0.6, 0.8}
+	if o.Quick {
+		alphas = []float64{0.2, 0.4}
+	}
+	for _, a := range alphas {
+		m := adaInf()
+		m.mem = adaMemory(a)
+		r, err := m.run(o, app.Catalog(), 4)
+		if err != nil {
+			return nil, err
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%.1f", a),
+			fmt.Sprintf("%.3f", r.MeanAccuracy),
+			fmt.Sprintf("%.3f", r.MeanFinishRate),
+		})
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// Fig24 reproduces Fig. 24: accuracy and finish rate of the
+// video-surveillance application as the early-exit accuracy threshold
+// A_m of its vehicle-type model sweeps through [80%, 95%].
+func Fig24(o Options) (*Result, error) {
+	o.fill()
+	res := &Result{ID: "fig24", Title: "Influence of A_m"}
+	tb := Table{Header: []string{"A_m", "accuracy", "finish rate"}}
+	thresholds := []float64{0.80, 0.85, 0.90, 0.95}
+	if o.Quick {
+		thresholds = []float64{0.80, 0.95}
+	}
+	for _, am := range thresholds {
+		vs := app.VideoSurveillance()
+		vs.Node("vehicle-type").AccThreshold = am
+		m := adaInf()
+		r, err := m.run(o, []*app.App{vs}, 1)
+		if err != nil {
+			return nil, err
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%.0f%%", am*100),
+			fmt.Sprintf("%.3f", r.MeanAccuracy),
+			fmt.Sprintf("%.3f", r.MeanFinishRate),
+		})
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+// Table1 reproduces Table 1: the time overheads of each method.
+func Table1(o Options) (*Result, error) {
+	o.fill()
+	res := &Result{ID: "table1", Title: "Time overheads of methods"}
+	tb := Table{Header: []string{
+		"method", "periodic DAG update", "scheduling", "edge-cloud comm",
+		"edge-cloud data", "mem-comm minimization",
+	}}
+	for _, m := range comparisonMethods() {
+		r, err := m.run(o, app.Catalog(), 4)
+		if err != nil {
+			return nil, err
+		}
+		dagUpdate, memMin := "0", "0"
+		if m.label == "AdaInf" {
+			dagUpdate = fmt.Sprintf("%.1fs", r.PeriodOverhead.Seconds())
+			memMin = "1ms"
+		}
+		schedCost := r.SessionOverhead.String()
+		if m.label == "Ekya" {
+			schedCost = fmt.Sprintf("%.1fs", r.PeriodOverhead.Seconds())
+		}
+		tb.Rows = append(tb.Rows, []string{
+			m.label, dagUpdate, schedCost,
+			fmt.Sprintf("%.1fs", r.EdgeCloudTransfer.Seconds()),
+			fmt.Sprintf("%.1fGB", float64(r.EdgeCloudBytes)/1e9),
+			memMin,
+		})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s measured wall-clock planning: %.1fms/period, %.3fms/session (this implementation)",
+			m.label,
+			float64(r.MeasuredPeriodPlanning.Microseconds())/1e3/float64(periodsIn(o)),
+			float64(r.MeasuredSessionPlanning.Microseconds())/1e3/float64(sessionsIn(o))))
+	}
+	res.Tables = append(res.Tables, tb)
+	return res, nil
+}
+
+func periodsIn(o Options) int {
+	n := int(o.Horizon / (50 * 1e9))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func sessionsIn(o Options) int {
+	n := int(o.Horizon / (5 * 1e6))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

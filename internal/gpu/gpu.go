@@ -1,0 +1,144 @@
+// Package gpu simulates the edge server's GPUs at the granularity the
+// AdaInf scheduler observes: kernel compute time as a function of work,
+// batch size, and the MPS-style compute-space fraction allocated to an
+// application, plus the memory behaviour delegated to gpumem.
+//
+// Repro substitution: this replaces the paper's Nvidia V100s + CUDA
+// MPS. The first-order model is
+//
+//	kernelTime = launch + n·FLOPs / (u(n) · fraction · deviceFLOPS)
+//
+// where u(n) = n/(n+k) is the batching-efficiency curve (small batches
+// underutilize the SMs) and fraction is the partition's
+// CUDA_MPS_ACTIVE_THREAD_PERCENTAGE share. Memory capacity scales with
+// the fraction as well, which is what bends the optimal batch size down
+// when an application receives less GPU space (Fig. 9).
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"adainf/internal/gpumem"
+	"adainf/internal/simtime"
+)
+
+// Spec describes one physical GPU.
+type Spec struct {
+	// Name identifies the device model.
+	Name string
+	// FLOPS is the effective sustained compute rate (FLOP/s) at full
+	// batching efficiency.
+	FLOPS float64
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// Launch is the fixed per-kernel launch overhead.
+	Launch simtime.Duration
+	// BatchHalf is the batch size at which batching efficiency reaches
+	// 50% (u(n) = n/(n+BatchHalf)).
+	BatchHalf float64
+}
+
+// V100 returns the paper's testbed GPU: an Nvidia V100 (16 GB). The
+// effective FLOPS is well below the 14 TFLOP/s peak, reflecting
+// real-kernel utilization.
+func V100() Spec {
+	return Spec{
+		Name:      "V100",
+		FLOPS:     6e12,
+		MemBytes:  16 << 30,
+		Launch:    60 * time.Microsecond,
+		BatchHalf: 3,
+	}
+}
+
+// Validate reports an error on a malformed spec.
+func (s Spec) Validate() error {
+	if s.FLOPS <= 0 || s.MemBytes <= 0 || s.Launch < 0 || s.BatchHalf <= 0 {
+		return fmt.Errorf("gpu: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// Efficiency returns the batching-efficiency factor u(n) ∈ (0, 1).
+func (s Spec) Efficiency(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	n := float64(batch)
+	return n / (n + s.BatchHalf)
+}
+
+// Partition is an MPS-style share of a device: a compute fraction and a
+// proportional slice of device memory with its own gpumem manager.
+type Partition struct {
+	spec     Spec
+	fraction float64
+	mem      *gpumem.Manager
+}
+
+// PartitionConfig tunes a partition's memory manager.
+type PartitionConfig struct {
+	// MemShare scales the partition's memory slice relative to
+	// fraction × device memory. Values < 1 model the memory consumed
+	// by the other concurrently running sessions' jobs on the same
+	// partition. Zero defaults to 1.
+	MemShare float64
+	// PinBytes is the PIN memory available to this partition's
+	// evictions.
+	PinBytes int64
+	// Policy is the eviction policy; nil defaults to LRU.
+	Policy gpumem.Policy
+}
+
+// NewPartition carves fraction ∈ (0, 1] of the device. It panics on an
+// invalid spec or fraction.
+func NewPartition(spec Spec, fraction float64, cfg PartitionConfig) *Partition {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("gpu: partition fraction %g out of (0,1]", fraction))
+	}
+	share := cfg.MemShare
+	if share == 0 {
+		share = 1
+	}
+	if share < 0 || share > 1 {
+		panic(fmt.Sprintf("gpu: memory share %g out of (0,1]", share))
+	}
+	memBytes := int64(float64(spec.MemBytes) * fraction * share)
+	if memBytes < 1<<20 {
+		memBytes = 1 << 20
+	}
+	mem := gpumem.NewManager(gpumem.Config{
+		GPUBytes: memBytes,
+		PinBytes: cfg.PinBytes,
+		Policy:   cfg.Policy,
+	})
+	return &Partition{spec: spec, fraction: fraction, mem: mem}
+}
+
+// Spec returns the underlying device spec.
+func (p *Partition) Spec() Spec { return p.spec }
+
+// Fraction returns the compute-space share.
+func (p *Partition) Fraction() float64 { return p.fraction }
+
+// Mem returns the partition's memory manager.
+func (p *Partition) Mem() *gpumem.Manager { return p.mem }
+
+// KernelTime returns the compute time of one kernel processing a batch:
+// launch overhead plus batched work at the partition's share of the
+// device throughput.
+func (p *Partition) KernelTime(flopsPerSample float64, batch int) simtime.Duration {
+	if flopsPerSample < 0 {
+		panic(fmt.Sprintf("gpu: negative work %g", flopsPerSample))
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	work := flopsPerSample * float64(batch)
+	rate := p.spec.FLOPS * p.fraction * p.spec.Efficiency(batch)
+	return p.spec.Launch + simtime.Duration(work/rate*float64(time.Second))
+}

@@ -1,0 +1,294 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"adainf/internal/dnn"
+	"adainf/internal/gpumem"
+	"adainf/internal/simtime"
+)
+
+func TestV100SpecValid(t *testing.T) {
+	if err := V100().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{FLOPS: 0, MemBytes: 1, BatchHalf: 1},
+		{FLOPS: 1, MemBytes: 0, BatchHalf: 1},
+		{FLOPS: 1, MemBytes: 1, BatchHalf: 0},
+		{FLOPS: 1, MemBytes: 1, BatchHalf: 1, Launch: -time.Second},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	s := V100()
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		u := s.Efficiency(n)
+		if u <= prev || u >= 1 {
+			t.Fatalf("Efficiency(%d) = %v not in (prev, 1)", n, u)
+		}
+		prev = u
+	}
+	if s.Efficiency(0) != s.Efficiency(1) {
+		t.Fatal("batch<1 not clamped")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for fraction %v", f)
+				}
+			}()
+			NewPartition(V100(), f, PartitionConfig{})
+		}()
+	}
+}
+
+func TestKernelTimeScalesInverselyWithFraction(t *testing.T) {
+	full := NewPartition(V100(), 1, PartitionConfig{})
+	quarter := NewPartition(V100(), 0.25, PartitionConfig{})
+	flops := 1e9
+	tf := full.KernelTime(flops, 16) - V100().Launch
+	tq := quarter.KernelTime(flops, 16) - V100().Launch
+	ratio := float64(tq) / float64(tf)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("quarter/full kernel ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestKernelTimePerSampleDropsWithBatch(t *testing.T) {
+	p := NewPartition(V100(), 1, PartitionConfig{})
+	flops := 1e9
+	perSample1 := float64(p.KernelTime(flops, 1))
+	perSample32 := float64(p.KernelTime(flops, 32)) / 32
+	if perSample32 >= perSample1 {
+		t.Fatalf("batching does not amortize: %v vs %v", perSample32, perSample1)
+	}
+}
+
+func TestPartitionMemoryScalesWithFraction(t *testing.T) {
+	full := NewPartition(V100(), 1, PartitionConfig{})
+	quarter := NewPartition(V100(), 0.25, PartitionConfig{})
+	if quarter.Mem().Capacity() >= full.Mem().Capacity() {
+		t.Fatal("smaller fraction did not get smaller memory slice")
+	}
+	if full.Mem().Capacity() != V100().MemBytes {
+		t.Fatalf("full partition capacity = %d", full.Mem().Capacity())
+	}
+	shared := NewPartition(V100(), 1, PartitionConfig{MemShare: 0.1})
+	if shared.Mem().Capacity() >= full.Mem().Capacity()/5 {
+		t.Fatal("MemShare did not shrink the slice")
+	}
+}
+
+func TestKernelTimeNegativeWorkPanics(t *testing.T) {
+	p := NewPartition(V100(), 1, PartitionConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative work")
+		}
+	}()
+	p.KernelTime(-1, 1)
+}
+
+func newTestExecutor(memShare float64, strat Strategy) *Executor {
+	p := NewPartition(V100(), 1, PartitionConfig{MemShare: memShare, Policy: gpumem.PriorityPolicy{Alpha: 0.4}})
+	return NewExecutor(p, strat)
+}
+
+func TestRunInferenceBasic(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	st := dnn.FullStructure(dnn.MobileNetV2())
+	res, err := e.RunInference(0, InferenceTask{
+		App: "vs", JobID: 1, Structure: st, Batch: 16, SLOms: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compute <= 0 {
+		t.Fatal("no compute time")
+	}
+	if res.End != simtime.Instant(res.Total()) {
+		t.Fatalf("End %v != Total %v from start 0", res.End, res.Total())
+	}
+	// The final output must be resident for downstream consumption.
+	if !e.Partition().Mem().Resident(res.Output) {
+		t.Fatal("final output not resident")
+	}
+	if res.Output.Layer != st.ExitAfter()-1 {
+		t.Fatalf("output layer = %d", res.Output.Layer)
+	}
+}
+
+func TestRunInferenceValidation(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	st := dnn.FullStructure(dnn.ShuffleNet())
+	if _, err := e.RunInference(0, InferenceTask{App: "a", Structure: st, Batch: 0}); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := e.RunInference(0, InferenceTask{
+		App: "a", Structure: st, Batch: 1,
+		PrevOutputs: []gpumem.ContentID{{}}, PrevOutputBytes: nil,
+	}); err == nil {
+		t.Error("mismatched prev outputs accepted")
+	}
+}
+
+func TestDAGOutputConsumption(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	det, err := e.RunInference(0, InferenceTask{
+		App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.TinyYOLOv3()), Batch: 8, SLOms: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.RunInference(det.End, InferenceTask{
+		App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.MobileNetV2()), Batch: 8, SLOms: 400,
+		PrevOutputs:     []gpumem.ContentID{det.Output},
+		PrevOutputBytes: []int64{1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-task intermediate reuse must be recorded (Fig. 12b).
+	if got := e.Partition().Mem().CrossCDF(gpumem.CrossTaskIntermediate).N(); got == 0 {
+		t.Fatal("no cross-task intermediate reuse recorded")
+	}
+}
+
+func TestLayerSyncBeatsPerRequestUnderMemoryPressure(t *testing.T) {
+	// With a tight memory slice, per-request execution refetches layer
+	// params repeatedly; layer-synchronized execution reuses them
+	// within the batch. Comm time must be strictly lower for LayerSync.
+	run := func(maximize bool) simtime.Duration {
+		// ~46 MB slice: batch working sets fit, but params + both
+		// intermediate batches do not, forcing param evictions.
+		e := newTestExecutor(0.0028, Strategy{MaximizeUsage: maximize})
+		res, err := e.RunInference(0, InferenceTask{
+			App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.ShuffleNet()), Batch: 4, SLOms: 400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Comm
+	}
+	sync := run(true)
+	perReq := run(false)
+	if sync >= perReq {
+		t.Fatalf("LayerSync comm %v not below per-request %v", sync, perReq)
+	}
+}
+
+func TestRunRetrainingBasic(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	res, end, err := e.RunRetraining(0, RetrainTask{
+		App: "vs", JobID: 1, Arch: dnn.ShuffleNet(), Samples: 64, BatchSize: 32, SLOms: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compute <= 0 || end <= 0 {
+		t.Fatalf("empty result: %+v end=%v", res, end)
+	}
+	// Retraining must record param accesses in the retraining phase.
+	if got := e.Partition().Mem().ReuseCDF(gpumem.ReuseClass{Kind: gpumem.KindParam, Phase: gpumem.PhaseRetraining}).N(); got == 0 {
+		t.Fatal("no retraining param reuse recorded")
+	}
+}
+
+func TestRunRetrainingValidation(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	if _, _, err := e.RunRetraining(0, RetrainTask{App: "a", Arch: dnn.ShuffleNet(), Samples: 0, BatchSize: 8}); err == nil {
+		t.Error("0 samples accepted")
+	}
+	if _, _, err := e.RunRetraining(0, RetrainTask{App: "a", Arch: dnn.ShuffleNet(), Samples: 8, BatchSize: 0}); err == nil {
+		t.Error("0 batch accepted")
+	}
+}
+
+func TestRetrainThenInferRecordsCrossTaskParam(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	_, end, err := e.RunRetraining(0, RetrainTask{
+		App: "vs", JobID: 1, Arch: dnn.MobileNetV2(), Samples: 16, BatchSize: 16, SLOms: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunInference(end, InferenceTask{
+		App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.MobileNetV2()), Batch: 8, SLOms: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Partition().Mem().CrossCDF(gpumem.CrossTaskParam).N(); got == 0 {
+		t.Fatal("no retrain→infer param reuse recorded (Fig. 12b)")
+	}
+}
+
+func TestFinishJobDropsIntermediatesKeepsParams(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	res, err := e.RunInference(0, InferenceTask{
+		App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.ShuffleNet()), Batch: 4, SLOms: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FinishJob("vs")
+	if e.Partition().Mem().Resident(res.Output) {
+		t.Fatal("intermediate output survived FinishJob")
+	}
+	paramID := gpumem.ContentID{App: "vs", Model: "ShuffleNet", Layer: 0, Kind: gpumem.KindParam}
+	if !e.Partition().Mem().Resident(paramID) {
+		t.Fatal("params dropped despite MaximizeUsage")
+	}
+
+	// Without MaximizeUsage, params are dropped too.
+	e2 := newTestExecutor(1, Strategy{MaximizeUsage: false})
+	if _, err := e2.RunInference(0, InferenceTask{
+		App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.ShuffleNet()), Batch: 4, SLOms: 400,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e2.FinishJob("vs")
+	if e2.Partition().Mem().Resident(paramID) {
+		t.Fatal("params survived FinishJob without MaximizeUsage")
+	}
+}
+
+func TestCrossJobParamReuse(t *testing.T) {
+	e := newTestExecutor(1, Strategy{MaximizeUsage: true})
+	task := InferenceTask{App: "vs", JobID: 1, Structure: dnn.FullStructure(dnn.MobileNetV2()), Batch: 4, SLOms: 400}
+	r1, err := e.RunInference(0, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FinishJob("vs")
+	task.JobID = 2
+	if _, err := e.RunInference(r1.End.Add(60*time.Millisecond), task); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Partition().Mem().CrossCDF(gpumem.CrossJobParam).N(); got == 0 {
+		t.Fatal("no cross-job param reuse recorded (Fig. 13)")
+	}
+}
+
+func TestNewExecutorNilPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewExecutor(nil, Strategy{})
+}

@@ -1,0 +1,121 @@
+package gpumem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"adainf/internal/simtime"
+)
+
+// TestRandomOperationInvariants drives the manager with long random
+// sequences of acquires and releases and checks the accounting
+// invariants after every step:
+//
+//   - GPU usage never exceeds capacity;
+//   - PIN usage never exceeds the PIN capacity and never goes negative;
+//   - communication statistics only grow.
+func TestRandomOperationInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		policies := []Policy{LRUPolicy{}, PriorityPolicy{Alpha: 0.4}}
+		m := NewManager(Config{
+			GPUBytes: int64(1+rng.Intn(64)) * mb,
+			PinBytes: int64(rng.Intn(16)) * mb,
+			Policy:   policies[rng.Intn(len(policies))],
+		})
+		now := simtime.Instant(0)
+		var live []ContentID
+		var lastComm simtime.Duration
+		for step := 0; step < 2000; step++ {
+			now = now.Add(time.Duration(1+rng.Intn(500)) * time.Microsecond)
+			switch {
+			case len(live) > 0 && rng.Intn(4) == 0:
+				// Release a random live content.
+				i := rng.Intn(len(live))
+				m.Release(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default:
+				kind := Kind(rng.Intn(2))
+				id := ContentID{
+					App:   "app",
+					Model: []string{"a", "b", "c"}[rng.Intn(3)],
+					Layer: rng.Intn(6),
+					Kind:  kind,
+				}
+				if kind == KindIntermediate {
+					id.Seq = uint64(rng.Intn(10))
+				}
+				acc := Access{
+					Content: Content{
+						ID:            id,
+						Bytes:         int64(1+rng.Intn(8)) * mb / 2,
+						SLOms:         float64(400 + rng.Intn(200)),
+						ProducedOnGPU: kind == KindIntermediate,
+					},
+					Phase: Phase(rng.Intn(2)),
+					Model: id.Model,
+					JobID: uint64(step / 100),
+				}
+				if _, err := m.Acquire(now, []Access{acc}); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				live = append(live, id)
+			}
+			if m.GPUUsed() < 0 || m.GPUUsed() > m.Capacity() {
+				t.Fatalf("seed %d step %d: GPU usage %d outside [0, %d]",
+					seed, step, m.GPUUsed(), m.Capacity())
+			}
+			if m.PinUsed() < 0 {
+				t.Fatalf("seed %d step %d: negative PIN usage %d", seed, step, m.PinUsed())
+			}
+			if comm := m.Stats().CommTime(); comm < lastComm {
+				t.Fatalf("seed %d step %d: comm time went backwards", seed, step)
+			} else {
+				lastComm = comm
+			}
+		}
+		// Releasing everything must drain the accounting to zero.
+		m.ReleaseMatching(func(ContentID) bool { return true })
+		if m.GPUUsed() != 0 || m.PinUsed() != 0 {
+			t.Fatalf("seed %d: usage after full release: gpu=%d pin=%d",
+				seed, m.GPUUsed(), m.PinUsed())
+		}
+	}
+}
+
+// TestWorkingSetAlwaysServed verifies that an Acquire of any working
+// set — even one larger than GPU memory — returns successfully and
+// charges a non-negative communication time (the out-of-core fallback).
+func TestWorkingSetAlwaysServed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewManager(Config{GPUBytes: 8 * mb, PinBytes: 4 * mb})
+	for step := 0; step < 200; step++ {
+		n := 1 + rng.Intn(6)
+		accs := make([]Access, n)
+		for i := range accs {
+			accs[i] = Access{
+				Content: Content{
+					ID: ContentID{
+						App: "x", Model: "m", Layer: rng.Intn(4),
+						Kind: KindIntermediate, Seq: uint64(rng.Intn(100)),
+					},
+					Bytes:         int64(1+rng.Intn(6)) * mb,
+					SLOms:         400,
+					ProducedOnGPU: true,
+				},
+				Phase: PhaseInference,
+				Model: "m",
+			}
+		}
+		d, err := m.Acquire(simtime.Instant(time.Duration(step)*time.Millisecond), accs)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if d < 0 {
+			t.Fatalf("step %d: negative comm %v", step, d)
+		}
+	}
+}

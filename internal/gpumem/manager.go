@@ -1,0 +1,411 @@
+package gpumem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adainf/internal/mathx"
+	"adainf/internal/simtime"
+)
+
+// Default PCIe transfer rates (bytes/second). PIN (page-locked) memory
+// transfers avoid the staging copy and run near the bus limit [13].
+const (
+	DefaultH2DPageableBps = 6e9
+	DefaultH2DPinnedBps   = 12e9
+	DefaultD2HBps         = 6.5e9
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// GPUBytes is the GPU memory capacity managed here.
+	GPUBytes int64
+	// PinBytes is the PIN (page-locked) portion of CPU memory.
+	PinBytes int64
+	// Transfer rates in bytes/second; zero values take the defaults.
+	H2DPageableBps float64
+	H2DPinnedBps   float64
+	D2HBps         float64
+	// Policy chooses eviction victims; nil defaults to LRU.
+	Policy Policy
+}
+
+func (c *Config) fillDefaults() {
+	if c.H2DPageableBps == 0 {
+		c.H2DPageableBps = DefaultH2DPageableBps
+	}
+	if c.H2DPinnedBps == 0 {
+		c.H2DPinnedBps = DefaultH2DPinnedBps
+	}
+	if c.D2HBps == 0 {
+		c.D2HBps = DefaultD2HBps
+	}
+	if c.Policy == nil {
+		c.Policy = LRUPolicy{}
+	}
+}
+
+// Stats aggregates the manager's communication and cache behaviour.
+type Stats struct {
+	H2DBytes   int64
+	D2HBytes   int64
+	H2DTime    simtime.Duration
+	D2HTime    simtime.Duration
+	Hits       uint64
+	Misses     uint64
+	ColdLoads  uint64
+	Evictions  uint64
+	PinPlaced  uint64
+	PinRefills uint64 // H2D transfers served from PIN memory
+	// Streamed counts out-of-core accesses: contents that could not be
+	// made resident (the working set exceeds GPU capacity) and were
+	// streamed from CPU memory on every touch instead, as in
+	// unified-memory out-of-core DNN execution.
+	StreamedBytes int64
+	StreamedTime  simtime.Duration
+}
+
+// CommTime returns total CPU–GPU communication time, including
+// out-of-core streaming.
+func (s Stats) CommTime() simtime.Duration { return s.H2DTime + s.D2HTime + s.StreamedTime }
+
+// Access is one content touch within an Acquire call.
+type Access struct {
+	Content Content
+	// Phase of the task performing the access.
+	Phase Phase
+	// Model is the accessing model's name (cross-task classification).
+	Model string
+	// JobID identifies the accessing job (cross-job classification).
+	JobID uint64
+}
+
+// Manager simulates the GPU memory of one device (or one MPS
+// partition). It is not safe for concurrent use; the simulator drives
+// it from a single goroutine in virtual-time order.
+type Manager struct {
+	cfg     Config
+	entries map[ContentID]*entry
+	gpuUsed int64
+	pinUsed int64
+	stats   Stats
+	seq     uint64
+
+	reuse map[ReuseClass][]float64
+	cross map[CrossKind][]float64
+	// Running per-type reuse means feed the priority policy's R_c.
+	typeSum map[ReuseClass]float64
+	typeN   map[ReuseClass]int
+}
+
+// NewManager returns a manager over the config. It panics on a
+// non-positive GPU capacity or negative PIN capacity.
+func NewManager(cfg Config) *Manager {
+	cfg.fillDefaults()
+	if cfg.GPUBytes <= 0 {
+		panic(fmt.Sprintf("gpumem: GPU capacity %d must be positive", cfg.GPUBytes))
+	}
+	if cfg.PinBytes < 0 {
+		panic(fmt.Sprintf("gpumem: negative PIN capacity %d", cfg.PinBytes))
+	}
+	return &Manager{
+		cfg:     cfg,
+		entries: make(map[ContentID]*entry),
+		reuse:   make(map[ReuseClass][]float64),
+		cross:   make(map[CrossKind][]float64),
+		typeSum: make(map[ReuseClass]float64),
+		typeN:   make(map[ReuseClass]int),
+	}
+}
+
+// Capacity returns the GPU memory capacity in bytes.
+func (m *Manager) Capacity() int64 { return m.cfg.GPUBytes }
+
+// GPUUsed returns the bytes currently resident in GPU memory.
+func (m *Manager) GPUUsed() int64 { return m.gpuUsed }
+
+// PinUsed returns the bytes currently held in PIN memory.
+func (m *Manager) PinUsed() int64 { return m.pinUsed }
+
+// Stats returns a snapshot of the communication statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Policy returns the active eviction policy.
+func (m *Manager) Policy() Policy { return m.cfg.Policy }
+
+// Resident reports whether the content is currently in GPU memory.
+func (m *Manager) Resident(id ContentID) bool {
+	e, ok := m.entries[id]
+	return ok && e.loc == locGPU
+}
+
+// SeedTypeReuse installs an offline-profiled mean reuse latency (ms)
+// for a reuse class, as AdaInf does before serving starts (§3.4.2).
+func (m *Manager) SeedTypeReuse(class ReuseClass, meanMs float64, weight int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	m.typeSum[class] += meanMs * float64(weight)
+	m.typeN[class] += weight
+}
+
+// TypeReuseMeanMs returns the manager's current mean reuse latency (ms)
+// of the class, or -1 if no observation exists yet.
+func (m *Manager) TypeReuseMeanMs(class ReuseClass) float64 {
+	if m.typeN[class] == 0 {
+		return -1
+	}
+	return m.typeSum[class] / float64(m.typeN[class])
+}
+
+// ReuseCDF returns the empirical CDF (milliseconds) of reuse times
+// observed for the class (Fig. 12a).
+func (m *Manager) ReuseCDF(class ReuseClass) *mathx.CDF {
+	return mathx.NewCDF(m.reuse[class])
+}
+
+// CrossCDF returns the empirical CDF (milliseconds) of cross-task or
+// cross-job reuse times (Figs. 12b, 13).
+func (m *Manager) CrossCDF(kind CrossKind) *mathx.CDF {
+	return mathx.NewCDF(m.cross[kind])
+}
+
+// Acquire makes every content in accs resident simultaneously, charging
+// CPU–GPU transfer time for misses and evicting other contents as
+// needed. When the working set itself exceeds GPU capacity, the
+// overflow contents are streamed from CPU memory on every touch
+// (out-of-core execution as in OC-DNN [17]) rather than failing — the
+// steep communication cost of that regime is what bends the worst-case
+// latency back up at large batch sizes (Fig. 8). It returns the total
+// communication time of the call.
+func (m *Manager) Acquire(now simtime.Instant, accs []Access) (simtime.Duration, error) {
+	inSet := make(map[ContentID]bool, len(accs))
+	for _, a := range accs {
+		if a.Content.Bytes <= 0 {
+			return 0, fmt.Errorf("gpumem: content %v has size %d", a.Content.ID, a.Content.Bytes)
+		}
+		inSet[a.Content.ID] = true
+	}
+	var comm simtime.Duration
+	for _, a := range accs {
+		comm += m.acquireOne(now, a, inSet)
+	}
+	return comm, nil
+}
+
+func (m *Manager) acquireOne(now simtime.Instant, a Access, inSet map[ContentID]bool) simtime.Duration {
+	id := a.Content.ID
+	e, ok := m.entries[id]
+	if !ok {
+		e = &entry{content: a.Content, loc: locPageable, seq: m.seq}
+		m.seq++
+		m.entries[id] = e
+	} else if e.content.Bytes != a.Content.Bytes {
+		// The content was re-materialized at a different size (e.g. an
+		// intermediate re-produced for a different batch). Retire the
+		// old allocation wherever it lives and reload at the new size.
+		switch e.loc {
+		case locGPU:
+			m.gpuUsed -= e.content.Bytes
+		case locPinned:
+			m.pinUsed -= e.content.Bytes
+		}
+		e.loc = locPageable
+		e.content.Bytes = a.Content.Bytes
+	}
+
+	var comm simtime.Duration
+	switch {
+	case e.loc == locGPU:
+		m.stats.Hits++
+	default:
+		m.stats.Misses++
+		// Make room first.
+		d, fits := m.makeRoom(now, a.Content.Bytes, inSet)
+		comm += d
+		if !fits {
+			// Out-of-core: stream the content through GPU memory for
+			// this access only. Born-on-GPU contents stream out, CPU
+			// contents stream in; either way the bus is crossed once.
+			t := bytesTime(a.Content.Bytes, m.cfg.H2DPageableBps)
+			comm += t
+			m.stats.StreamedTime += t
+			m.stats.StreamedBytes += a.Content.Bytes
+			e.everLoaded = true
+			m.recordReuse(now, e, a)
+			e.lastAccess = now
+			e.lastPhase = a.Phase
+			e.lastModel = a.Model
+			e.lastJob = a.JobID
+			e.hasAccess = true
+			e.content.SLOms = a.Content.SLOms
+			return comm
+		}
+		// Charge the host-to-device transfer. Contents produced by GPU
+		// computation are born resident on first touch.
+		switch {
+		case !e.everLoaded && a.Content.ProducedOnGPU:
+			m.stats.ColdLoads++
+		case e.loc == locPinned:
+			t := bytesTime(a.Content.Bytes, m.cfg.H2DPinnedBps)
+			comm += t
+			m.stats.H2DTime += t
+			m.stats.H2DBytes += a.Content.Bytes
+			m.stats.PinRefills++
+			m.pinUsed -= a.Content.Bytes
+		default: // pageable, or cold load of CPU-born content
+			t := bytesTime(a.Content.Bytes, m.cfg.H2DPageableBps)
+			comm += t
+			m.stats.H2DTime += t
+			m.stats.H2DBytes += a.Content.Bytes
+			if !e.everLoaded {
+				m.stats.ColdLoads++
+			}
+		}
+		e.loc = locGPU
+		m.gpuUsed += a.Content.Bytes
+	}
+	e.everLoaded = true
+
+	m.recordReuse(now, e, a)
+	e.lastAccess = now
+	e.lastPhase = a.Phase
+	e.lastModel = a.Model
+	e.lastJob = a.JobID
+	e.hasAccess = true
+	// Refresh mutable attributes (e.g. SLO changes across jobs).
+	e.content.SLOms = a.Content.SLOms
+	return comm
+}
+
+// recordReuse classifies and stores the reuse gap since the entry's
+// previous access.
+func (m *Manager) recordReuse(now simtime.Instant, e *entry, a Access) {
+	if !e.hasAccess {
+		return
+	}
+	gapMs := now.Sub(e.lastAccess).Seconds() * 1e3
+	if gapMs < 0 {
+		return
+	}
+	class := ReuseClass{Kind: e.content.ID.Kind, Phase: a.Phase}
+	m.reuse[class] = append(m.reuse[class], gapMs)
+	m.typeSum[class] += gapMs
+	m.typeN[class]++
+
+	switch e.content.ID.Kind {
+	case KindParam:
+		if e.lastPhase == PhaseRetraining && a.Phase == PhaseInference && e.lastModel == a.Model {
+			m.cross[CrossTaskParam] = append(m.cross[CrossTaskParam], gapMs)
+		}
+		if e.lastJob != a.JobID {
+			m.cross[CrossJobParam] = append(m.cross[CrossJobParam], gapMs)
+		}
+	case KindIntermediate:
+		if e.lastModel != a.Model {
+			m.cross[CrossTaskIntermediate] = append(m.cross[CrossTaskIntermediate], gapMs)
+		}
+	}
+}
+
+// makeRoom evicts resident contents (outside the working set) until
+// bytes fit, charging device-to-host time. Victims are chosen by the
+// policy, highest score first; within one round, the lowest-scoring
+// victims are placed in PIN memory while it has room (§3.4.2). The
+// second return value is false when even evicting every candidate
+// cannot make the bytes fit (nothing is evicted in that case — the
+// caller streams instead).
+func (m *Manager) makeRoom(now simtime.Instant, bytes int64, inSet map[ContentID]bool) (simtime.Duration, bool) {
+	if m.gpuUsed+bytes <= m.cfg.GPUBytes {
+		return 0, true
+	}
+	type scored struct {
+		e     *entry
+		score float64
+	}
+	var candidates []scored
+	for _, e := range m.entries {
+		if e.loc != locGPU || inSet[e.content.ID] {
+			continue
+		}
+		r := m.TypeReuseMeanMs(ReuseClass{Kind: e.content.ID.Kind, Phase: e.lastPhase})
+		candidates = append(candidates, scored{e: e, score: m.cfg.Policy.Score(e, now, r)})
+	}
+	// Highest score evicted first; seq breaks ties deterministically.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].score != candidates[j].score {
+			return candidates[i].score > candidates[j].score
+		}
+		return candidates[i].e.seq < candidates[j].e.seq
+	})
+	var victims []*entry
+	freed := int64(0)
+	for _, c := range candidates {
+		if m.gpuUsed-freed+bytes <= m.cfg.GPUBytes {
+			break
+		}
+		victims = append(victims, c.e)
+		freed += c.e.content.Bytes
+	}
+	if m.gpuUsed-freed+bytes > m.cfg.GPUBytes {
+		return 0, false
+	}
+	// Lower-scoring victims (reused sooner / tighter SLO) go to PIN.
+	// victims is sorted by descending score, so walk it backwards.
+	var comm simtime.Duration
+	for i := len(victims) - 1; i >= 0; i-- {
+		v := victims[i]
+		t := bytesTime(v.content.Bytes, m.cfg.D2HBps)
+		comm += t
+		m.stats.D2HTime += t
+		m.stats.D2HBytes += v.content.Bytes
+		m.stats.Evictions++
+		if m.pinUsed+v.content.Bytes <= m.cfg.PinBytes {
+			v.loc = locPinned
+			m.pinUsed += v.content.Bytes
+			m.stats.PinPlaced++
+		} else {
+			v.loc = locPageable
+		}
+		m.gpuUsed -= v.content.Bytes
+	}
+	return comm, true
+}
+
+// Release drops a content entirely (GPU, PIN, or pageable), freeing its
+// space without any transfer. AdaInf uses this for a completed job's
+// intermediate outputs, which are never reused (Observation 9).
+func (m *Manager) Release(id ContentID) bool {
+	e, ok := m.entries[id]
+	if !ok {
+		return false
+	}
+	switch e.loc {
+	case locGPU:
+		m.gpuUsed -= e.content.Bytes
+	case locPinned:
+		m.pinUsed -= e.content.Bytes
+	}
+	delete(m.entries, id)
+	return true
+}
+
+// ReleaseMatching drops every content whose ID satisfies pred and
+// returns how many were dropped.
+func (m *Manager) ReleaseMatching(pred func(ContentID) bool) int {
+	var ids []ContentID
+	for id := range m.entries {
+		if pred(id) {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		m.Release(id)
+	}
+	return len(ids)
+}
+
+func bytesTime(bytes int64, bps float64) simtime.Duration {
+	return simtime.Duration(float64(bytes) / bps * float64(time.Second))
+}

@@ -1,0 +1,148 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 2); err == nil {
+		t.Error("no error on empty data")
+	}
+	if _, err := FitPCA([][]float64{{}}, 2); err == nil {
+		t.Error("no error on zero-dimensional data")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("no error on ragged data")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("no error on k=0")
+	}
+}
+
+func TestPCARecoverDominantAxis(t *testing.T) {
+	// Points spread along the direction (1, 1, 0)/√2 with tiny noise in
+	// other directions: PCA's first component must align with it.
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]float64, 500)
+	for i := range data {
+		s := rng.NormFloat64() * 10
+		data[i] = []float64{
+			s/math.Sqrt2 + rng.NormFloat64()*0.01,
+			s/math.Sqrt2 + rng.NormFloat64()*0.01,
+			rng.NormFloat64() * 0.01,
+		}
+	}
+	p, err := FitPCA(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.components[0]
+	align := math.Abs(Dot(c0, []float64{1 / math.Sqrt2, 1 / math.Sqrt2, 0}))
+	if align < 0.999 {
+		t.Fatalf("first component %v misaligned: |cos| = %v", c0, align)
+	}
+	vars := p.ExplainedVariance()
+	if vars[0] < 50 || vars[1] > 1 {
+		t.Fatalf("variances %v do not reflect the dominant axis", vars)
+	}
+}
+
+func TestPCAVariancesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float64, 200)
+	for i := range data {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(j+1)
+		}
+		data[i] = row
+	}
+	p, err := FitPCA(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := p.ExplainedVariance()
+	for i := 1; i < len(vars); i++ {
+		if vars[i] > vars[i-1]+1e-9 {
+			t.Fatalf("variances not sorted: %v", vars)
+		}
+	}
+}
+
+func TestPCATransformDimensions(t *testing.T) {
+	data := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {0, 1, 0}}
+	p, err := FitPCA(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 3 || p.Components() != 2 {
+		t.Fatalf("Dim=%d Components=%d", p.Dim(), p.Components())
+	}
+	out := p.Transform(data[0])
+	if len(out) != 2 {
+		t.Fatalf("Transform len = %d", len(out))
+	}
+	all := p.TransformAll(data)
+	if len(all) != len(data) {
+		t.Fatalf("TransformAll len = %d", len(all))
+	}
+}
+
+func TestPCAKCappedAtDim(t *testing.T) {
+	data := [][]float64{{1, 2}, {3, 4}, {5, 7}}
+	p, err := FitPCA(data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components() != 2 {
+		t.Fatalf("Components = %d, want capped at 2", p.Components())
+	}
+}
+
+// Property: projection preserves total variance when all components are
+// kept (Parseval for the orthonormal eigenbasis).
+func TestPCAPreservesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	data := make([][]float64, 300)
+	for i := range data {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.NormFloat64()*float64(j+1) + float64(j)
+		}
+		data[i] = row
+	}
+	p, err := FitPCA(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total variance in the original space.
+	mean := Mean(data)
+	var orig float64
+	for _, r := range data {
+		d := Sub(r, mean)
+		orig += Dot(d, d)
+	}
+	orig /= float64(len(data))
+	var kept float64
+	for _, v := range p.ExplainedVariance() {
+		kept += v
+	}
+	if !almostEqual(orig, kept, 1e-6*orig) {
+		t.Fatalf("variance not preserved: orig %v vs eigensum %v", orig, kept)
+	}
+}
+
+func TestPCATransformPanicsOnDimMismatch(t *testing.T) {
+	p, err := FitPCA([][]float64{{1, 2}, {3, 4}, {4, 6}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	p.Transform([]float64{1, 2, 3})
+}

@@ -1,0 +1,193 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+	// Inputs untouched.
+	if a[0][0] != 2 || b[0] != 5 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("no error on singular system")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-9) || !almostEqual(x[1], 2, 1e-9) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestPolyFitExact(t *testing.T) {
+	// y = 2 − 3x + x²
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 - 3*x + x*x
+	}
+	c, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 1}
+	for i := range want {
+		if !almostEqual(c[i], want[i], 1e-8) {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+	if got := PolyEval(c, 10); !almostEqual(got, 72, 1e-6) {
+		t.Fatalf("PolyEval(10) = %v, want 72", got)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("no error on length mismatch")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("no error on negative degree")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 1); err == nil {
+		t.Error("no error on underdetermined fit")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 7·x^(-0.8), the latency-vs-GPU-fraction shape used in §3.3.
+	xs := []float64{0.25, 0.5, 0.75, 1}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 * math.Pow(x, -0.8)
+	}
+	p, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.A, 7, 1e-6) || !almostEqual(p.B, -0.8, 1e-6) {
+		t.Fatalf("fit = %+v, want A=7 B=-0.8", p)
+	}
+	// Inverse: what fraction achieves latency 14?
+	x := p.InverseAt(14)
+	if !almostEqual(p.At(x), 14, 1e-6) {
+		t.Fatalf("InverseAt round trip: At(%v) = %v", x, p.At(x))
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("no error on single point")
+	}
+	if _, err := FitPowerLaw([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("no error on non-positive x")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("no error on non-positive y")
+	}
+}
+
+func TestPowerLawInversePanicsOnConstant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on constant law inverse")
+		}
+	}()
+	PowerLaw{A: 1, B: 0}.InverseAt(2)
+}
+
+func TestSaturatingModel(t *testing.T) {
+	s := Saturating{Ymax: 10, Kappa: 100}
+	if s.At(0) != 0 {
+		t.Fatal("At(0) != 0")
+	}
+	if got := s.At(1e9); !almostEqual(got, 10, 1e-6) {
+		t.Fatalf("At(inf) = %v", got)
+	}
+	// Inverse round trip at mid-curve.
+	y := s.At(50)
+	if x := s.InverseAt(y); !almostEqual(x, 50, 1e-6) {
+		t.Fatalf("InverseAt(%v) = %v, want 50", y, x)
+	}
+	if !math.IsInf(s.InverseAt(10), 1) {
+		t.Fatal("InverseAt(Ymax) should be +Inf")
+	}
+	if s.InverseAt(-1) != 0 {
+		t.Fatal("InverseAt(neg) should be 0")
+	}
+}
+
+func TestFitSaturatingRecoversParameters(t *testing.T) {
+	truth := Saturating{Ymax: 0.25, Kappa: 40}
+	var xs, ys []float64
+	for x := 5.0; x <= 400; x += 10 {
+		xs = append(xs, x)
+		ys = append(ys, truth.At(x))
+	}
+	fit, err := FitSaturating(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Ymax, truth.Ymax, 0.01) {
+		t.Fatalf("Ymax = %v, want %v", fit.Ymax, truth.Ymax)
+	}
+	if !almostEqual(fit.Kappa, truth.Kappa, 2) {
+		t.Fatalf("Kappa = %v, want %v", fit.Kappa, truth.Kappa)
+	}
+}
+
+func TestFitSaturatingNoisy(t *testing.T) {
+	truth := Saturating{Ymax: 1, Kappa: 20}
+	rng := rand.New(rand.NewSource(11))
+	var xs, ys []float64
+	for x := 1.0; x <= 100; x += 2 {
+		xs = append(xs, x)
+		ys = append(ys, truth.At(x)+rng.NormFloat64()*0.01)
+	}
+	fit, err := FitSaturating(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Ymax-1) > 0.05 || math.Abs(fit.Kappa-20) > 4 {
+		t.Fatalf("noisy fit off: %+v", fit)
+	}
+}
+
+func TestFitSaturatingErrors(t *testing.T) {
+	if _, err := FitSaturating([]float64{1}, []float64{1}); err == nil {
+		t.Error("no error on single point")
+	}
+	if _, err := FitSaturating([]float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("no error on non-positive x")
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("no error on empty")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("no error on ragged")
+	}
+}

@@ -1,0 +1,165 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Std    float64 // population standard deviation
+	Median float64
+}
+
+// Summarize computes descriptive statistics of xs. A nil or empty input
+// returns a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// MeanOf returns the arithmetic mean of xs, or 0 for an empty slice.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It panics on empty input or p
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("mathx: Percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("mathx: Percentile p=%g out of [0,100]", p))
+	}
+	sorted := Clone(xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function built from
+// observed samples. The simulator uses it to report the reuse-time
+// distributions of Figs. 12–13.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the samples. The input is copied.
+func NewCDF(samples []float64) *CDF {
+	s := Clone(samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples behind the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x), or 0 for an empty CDF.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x with P(X ≤ x) ≥ q, for
+// q ∈ (0, 1]. It panics on an empty CDF or q out of range.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		panic("mathx: Quantile of empty CDF")
+	}
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("mathx: Quantile q=%g out of (0,1]", q))
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Min returns the smallest sample. It panics on an empty CDF.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		panic("mathx: Min of empty CDF")
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample. It panics on an empty CDF.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		panic("mathx: Max of empty CDF")
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Points returns up to n evenly spaced (x, P(X≤x)) points for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(n-1, 1)
+		x := c.sorted[idx]
+		out = append(out, [2]float64{x, float64(idx+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

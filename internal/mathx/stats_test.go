@@ -1,0 +1,167 @@
+package mathx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	if !almostEqual(s.Std, 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", s.Std)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) != 0")
+	}
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Fatal("MeanOf broken")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{42}, 99); got != 42 {
+		t.Fatalf("single sample percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2); got != 0.75 {
+		t.Fatalf("At(2) = %v, want 0.75", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want 2", got)
+	}
+	if c.Min() != 1 || c.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 {
+		t.Fatal("empty CDF At != 0")
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Fatalf("empty CDF Points = %v", pts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty CDF did not panic")
+		}
+	}()
+	c.Quantile(0.5)
+}
+
+func TestCDFPoints(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	// Monotone in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("Points not monotone: %v", pts)
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Fatalf("last point P = %v, want 1", pts[len(pts)-1][1])
+	}
+}
+
+// Property: CDF is monotone non-decreasing and At(Quantile(q)) ≥ q.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		c := NewCDF(xs)
+		q := (float64(qRaw%100) + 1) / 100
+		x := c.Quantile(q)
+		if c.At(x) < q-1e-12 {
+			return false
+		}
+		sorted := Clone(xs)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, v := range sorted {
+			cur := c.At(v)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMatchesSortedOrderStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	sorted := Clone(xs)
+	sort.Float64s(sorted)
+	// With n=1001, percentile p maps exactly to index 10·p.
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got := Percentile(xs, p); !almostEqual(got, sorted[int(10*p)], 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, sorted[int(10*p)])
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package metrics collects the evaluation metrics of §5: per-period
+// inference accuracy, SLO finish rate over 1 s windows, inference and
+// retraining latencies, GPU utilization per second, and the fraction
+// of requests served by an updated model (Fig. 4b).
+package metrics
+
+import (
+	"time"
+
+	"adainf/internal/mathx"
+	"adainf/internal/simtime"
+)
+
+// Recorder accumulates metrics during one serving run. It is not safe
+// for concurrent use.
+type Recorder struct {
+	period  simtime.Duration
+	horizon simtime.Duration
+	gpus    float64
+
+	// Per-period accuracy: one correct/total pair per leaf prediction.
+	correct []int
+	total   []int
+	// Per-period count of predictions that used an updated model.
+	updated []int
+
+	// Finish rate per 1 s window.
+	finished  []int
+	arrived   []int
+	busyPerS  []float64 // busy GPU-seconds per 1 s bucket
+	inferMs   []float64
+	retrainMs []float64
+
+	// Per-period retraining effort (Fig. 7b).
+	retrainTimeS   []float64
+	retrainSamples []int
+	poolSamples    []int
+}
+
+// NewRecorder sizes the metric buckets for a run of the given horizon.
+func NewRecorder(horizon, period simtime.Duration, gpus float64) *Recorder {
+	if horizon <= 0 || period <= 0 || gpus <= 0 {
+		panic("metrics: non-positive recorder configuration")
+	}
+	nPeriods := int((horizon + period - 1) / period)
+	nSeconds := int(horizon/time.Second) + 1
+	return &Recorder{
+		period:         period,
+		horizon:        horizon,
+		gpus:           gpus,
+		correct:        make([]int, nPeriods),
+		total:          make([]int, nPeriods),
+		updated:        make([]int, nPeriods),
+		finished:       make([]int, nSeconds),
+		arrived:        make([]int, nSeconds),
+		busyPerS:       make([]float64, nSeconds),
+		retrainTimeS:   make([]float64, nPeriods),
+		retrainSamples: make([]int, nPeriods),
+		poolSamples:    make([]int, nPeriods),
+	}
+}
+
+func (r *Recorder) periodIndex(t simtime.Instant) int {
+	i := int(t.Duration() / r.period)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.correct) {
+		i = len(r.correct) - 1
+	}
+	return i
+}
+
+func (r *Recorder) secondIndex(t simtime.Instant) int {
+	i := int(t.Duration() / time.Second)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.finished) {
+		i = len(r.finished) - 1
+	}
+	return i
+}
+
+// RecordPrediction records one leaf-model prediction of a request.
+func (r *Recorder) RecordPrediction(t simtime.Instant, correct, usedUpdatedModel bool) {
+	p := r.periodIndex(t)
+	r.total[p]++
+	if correct {
+		r.correct[p]++
+	}
+	if usedUpdatedModel {
+		r.updated[p]++
+	}
+}
+
+// RecordRequest records one request's SLO outcome in its arrival
+// window.
+func (r *Recorder) RecordRequest(arrival simtime.Instant, metSLO bool) {
+	w := r.secondIndex(arrival)
+	r.arrived[w]++
+	if metSLO {
+		r.finished[w]++
+	}
+}
+
+// RecordJob records one executed job's latency decomposition.
+func (r *Recorder) RecordJob(inferLat, retrainLat simtime.Duration) {
+	r.inferMs = append(r.inferMs, inferLat.Seconds()*1e3)
+	if retrainLat > 0 {
+		r.retrainMs = append(r.retrainMs, retrainLat.Seconds()*1e3)
+	}
+}
+
+// RecordBusy accounts GPU occupancy: amount GPUs busy during [from, to).
+func (r *Recorder) RecordBusy(from, to simtime.Instant, amount float64) {
+	if !to.After(from) || amount <= 0 {
+		return
+	}
+	for w := r.secondIndex(from); w <= r.secondIndex(to) && w < len(r.busyPerS); w++ {
+		bucketStart := simtime.Instant(time.Duration(w) * time.Second)
+		bucketEnd := bucketStart.Add(time.Second)
+		lo, hi := from, to
+		if bucketStart.After(lo) {
+			lo = bucketStart
+		}
+		if hi.After(bucketEnd) {
+			hi = bucketEnd
+		}
+		if hi.After(lo) {
+			r.busyPerS[w] += hi.Sub(lo).Seconds() * amount
+		}
+	}
+}
+
+// RecordRetrainEffort accounts retraining time and samples of a period
+// (Fig. 7b).
+func (r *Recorder) RecordRetrainEffort(t simtime.Instant, d simtime.Duration, samples int) {
+	p := r.periodIndex(t)
+	r.retrainTimeS[p] += d.Seconds()
+	r.retrainSamples[p] += samples
+}
+
+// SetPoolSize records the total retraining pool of a period, the
+// denominator of the %-samples series of Fig. 7b.
+func (r *Recorder) SetPoolSize(period, samples int) {
+	if period >= 0 && period < len(r.poolSamples) {
+		r.poolSamples[period] += samples
+	}
+}
+
+// PeriodAccuracy returns the accuracy of each period ∈ [0, 1]. Periods
+// with no predictions report 0.
+func (r *Recorder) PeriodAccuracy() []float64 {
+	out := make([]float64, len(r.total))
+	for i := range out {
+		if r.total[i] > 0 {
+			out[i] = float64(r.correct[i]) / float64(r.total[i])
+		}
+	}
+	return out
+}
+
+// MeanAccuracy returns the overall accuracy across periods with data.
+func (r *Recorder) MeanAccuracy() float64 {
+	var c, t int
+	for i := range r.total {
+		c += r.correct[i]
+		t += r.total[i]
+	}
+	if t == 0 {
+		return 0
+	}
+	return float64(c) / float64(t)
+}
+
+// UpdatedModelFraction returns, per period, the fraction of
+// predictions that used a model retrained within the period (Fig. 4b).
+func (r *Recorder) UpdatedModelFraction() []float64 {
+	out := make([]float64, len(r.total))
+	for i := range out {
+		if r.total[i] > 0 {
+			out[i] = float64(r.updated[i]) / float64(r.total[i])
+		}
+	}
+	return out
+}
+
+// FinishRateWindows returns the finish rate of each 1 s window with
+// arrivals.
+func (r *Recorder) FinishRateWindows() []float64 {
+	out := make([]float64, len(r.arrived))
+	for i := range out {
+		if r.arrived[i] > 0 {
+			out[i] = float64(r.finished[i]) / float64(r.arrived[i])
+		}
+	}
+	return out
+}
+
+// MeanFinishRate returns the overall finish rate.
+func (r *Recorder) MeanFinishRate() float64 {
+	var f, a int
+	for i := range r.arrived {
+		f += r.finished[i]
+		a += r.arrived[i]
+	}
+	if a == 0 {
+		return 0
+	}
+	return float64(f) / float64(a)
+}
+
+// UtilizationPerSecond returns GPU utilization ∈ [0, 1] per second.
+func (r *Recorder) UtilizationPerSecond() []float64 {
+	out := make([]float64, len(r.busyPerS))
+	for i, b := range r.busyPerS {
+		u := b / r.gpus
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out
+}
+
+// MeanInferLatencyMs returns the mean job inference latency.
+func (r *Recorder) MeanInferLatencyMs() float64 { return mathx.MeanOf(r.inferMs) }
+
+// MeanRetrainLatencyMs returns the mean per-job retraining latency
+// among jobs that retrained.
+func (r *Recorder) MeanRetrainLatencyMs() float64 { return mathx.MeanOf(r.retrainMs) }
+
+// RetrainTimePerPeriodS returns retraining seconds per period (Fig. 7b).
+func (r *Recorder) RetrainTimePerPeriodS() []float64 {
+	return append([]float64(nil), r.retrainTimeS...)
+}
+
+// RetrainSampleFraction returns the fraction of each period's pool that
+// was used for retraining (Fig. 7b).
+func (r *Recorder) RetrainSampleFraction() []float64 {
+	out := make([]float64, len(r.retrainSamples))
+	for i := range out {
+		if r.poolSamples[i] > 0 {
+			f := float64(r.retrainSamples[i]) / float64(r.poolSamples[i])
+			if f > 1 {
+				f = 1
+			}
+			out[i] = f
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adainf/internal/simtime"
+)
+
+func sec(s float64) simtime.Instant {
+	return simtime.Instant(time.Duration(s * float64(time.Second)))
+}
+
+func newRec(t *testing.T) *Recorder {
+	t.Helper()
+	return NewRecorder(100*time.Second, 50*time.Second, 4)
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	for _, cfg := range [][3]interface{}{} {
+		_ = cfg
+	}
+	bad := []func(){
+		func() { NewRecorder(0, time.Second, 1) },
+		func() { NewRecorder(time.Second, 0, 1) },
+		func() { NewRecorder(time.Second, time.Second, 0) },
+	}
+	for i, fn := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccuracyPerPeriod(t *testing.T) {
+	r := newRec(t)
+	// Period 0: 3 correct of 4. Period 1: 1 of 2.
+	for i := 0; i < 3; i++ {
+		r.RecordPrediction(sec(10), true, false)
+	}
+	r.RecordPrediction(sec(10), false, false)
+	r.RecordPrediction(sec(60), true, true)
+	r.RecordPrediction(sec(60), false, false)
+	acc := r.PeriodAccuracy()
+	if len(acc) != 2 {
+		t.Fatalf("periods = %d", len(acc))
+	}
+	if acc[0] != 0.75 || acc[1] != 0.5 {
+		t.Fatalf("acc = %v", acc)
+	}
+	if got := r.MeanAccuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("MeanAccuracy = %v", got)
+	}
+	upd := r.UpdatedModelFraction()
+	if upd[0] != 0 || upd[1] != 0.5 {
+		t.Fatalf("updated = %v", upd)
+	}
+}
+
+func TestFinishRate(t *testing.T) {
+	r := newRec(t)
+	r.RecordRequest(sec(1.2), true)
+	r.RecordRequest(sec(1.7), false)
+	r.RecordRequest(sec(2.3), true)
+	fr := r.FinishRateWindows()
+	if fr[1] != 0.5 || fr[2] != 1 {
+		t.Fatalf("finish rate windows = [%v %v]", fr[1], fr[2])
+	}
+	if got := r.MeanFinishRate(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("MeanFinishRate = %v", got)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := newRec(t)
+	if r.MeanAccuracy() != 0 || r.MeanFinishRate() != 0 {
+		t.Fatal("empty recorder non-zero means")
+	}
+	if r.MeanInferLatencyMs() != 0 || r.MeanRetrainLatencyMs() != 0 {
+		t.Fatal("empty latencies non-zero")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	r := newRec(t)
+	// 0.5 GPUs busy for 2 s spanning a bucket boundary at 1 s.
+	r.RecordBusy(sec(0.5), sec(2.5), 0.5)
+	u := r.UtilizationPerSecond()
+	// Bucket 0: 0.5 s × 0.5 / 4 GPUs = 0.0625.
+	if math.Abs(u[0]-0.0625) > 1e-9 {
+		t.Fatalf("u[0] = %v", u[0])
+	}
+	// Bucket 1: full second × 0.5 / 4.
+	if math.Abs(u[1]-0.125) > 1e-9 {
+		t.Fatalf("u[1] = %v", u[1])
+	}
+	if math.Abs(u[2]-0.0625) > 1e-9 {
+		t.Fatalf("u[2] = %v", u[2])
+	}
+	// Degenerate inputs are ignored.
+	r.RecordBusy(sec(5), sec(5), 1)
+	r.RecordBusy(sec(6), sec(5), 1)
+	r.RecordBusy(sec(5), sec(6), 0)
+	if r.UtilizationPerSecond()[5] != 0 {
+		t.Fatal("degenerate busy recorded")
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	r := newRec(t)
+	r.RecordBusy(sec(0), sec(1), 100) // implausible over-commit
+	if got := r.UtilizationPerSecond()[0]; got != 1 {
+		t.Fatalf("utilization not clamped: %v", got)
+	}
+}
+
+func TestJobLatencies(t *testing.T) {
+	r := newRec(t)
+	r.RecordJob(100*time.Millisecond, 50*time.Millisecond)
+	r.RecordJob(200*time.Millisecond, 0) // no retraining → excluded from retrain mean
+	if got := r.MeanInferLatencyMs(); got != 150 {
+		t.Fatalf("MeanInferLatencyMs = %v", got)
+	}
+	if got := r.MeanRetrainLatencyMs(); got != 50 {
+		t.Fatalf("MeanRetrainLatencyMs = %v", got)
+	}
+}
+
+func TestRetrainEffort(t *testing.T) {
+	r := newRec(t)
+	r.SetPoolSize(0, 1000)
+	r.SetPoolSize(0, 1000) // two nodes
+	r.RecordRetrainEffort(sec(10), 2*time.Second, 500)
+	r.RecordRetrainEffort(sec(20), time.Second, 300)
+	if got := r.RetrainTimePerPeriodS()[0]; got != 3 {
+		t.Fatalf("retrain time = %v", got)
+	}
+	if got := r.RetrainSampleFraction()[0]; got != 0.4 {
+		t.Fatalf("sample fraction = %v", got)
+	}
+	// Fraction clamps at 1 even if bookkeeping over-counts.
+	r.RecordRetrainEffort(sec(30), time.Second, 5000)
+	if got := r.RetrainSampleFraction()[0]; got != 1 {
+		t.Fatalf("fraction not clamped: %v", got)
+	}
+	// Out-of-range period is ignored.
+	r.SetPoolSize(99, 10)
+}
+
+func TestInstantsOutOfRangeClamped(t *testing.T) {
+	r := newRec(t)
+	// Events beyond the horizon land in the last bucket, not panic.
+	r.RecordPrediction(sec(500), true, false)
+	r.RecordRequest(sec(500), true)
+	acc := r.PeriodAccuracy()
+	if acc[len(acc)-1] != 1 {
+		t.Fatalf("overflow prediction lost: %v", acc)
+	}
+}

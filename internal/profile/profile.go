@@ -1,0 +1,380 @@
+// Package profile implements AdaInf's offline profiling (§3.3, §6) and
+// the non-linear regression models the scheduler evaluates on-line.
+//
+// For every early-exit structure of every model of an application, the
+// profiler measures per-batch inference latency across a grid of
+// request batch sizes and GPU-space fractions by actually executing the
+// structure on the simulated GPU (internal/gpu), then fits a power law
+// latency(f) = A·f^B per batch size. Retraining latency per sample is
+// profiled the same way. Schedulers never run the executor on the hot
+// path — they evaluate these fitted profiles, mirroring how the real
+// system schedules from offline V100 profiles.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adainf/internal/app"
+	"adainf/internal/dnn"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/mathx"
+	"adainf/internal/simtime"
+)
+
+// DefaultBatchSizes is the batch grid the paper sweeps (Figs. 8–10).
+var DefaultBatchSizes = []int{1, 2, 4, 8, 16, 32, 64}
+
+// DefaultFractions is the GPU-space grid (Fig. 9).
+var DefaultFractions = []float64{0.25, 0.5, 0.75, 1.0}
+
+// DefaultMemShare is the slice of partition memory available to one
+// job — the rest of the partition's memory is held by the other
+// concurrently running sessions' jobs. Calibrated so the optimal
+// request batch size lands at 16 on a full GPU and shrinks to 8 and 4
+// at 50% and 25% GPU space (Figs. 8–9), with CPU–GPU communication
+// around a quarter of per-batch latency at the optimum (Fig. 11).
+const DefaultMemShare = 0.04
+
+// Config parameterizes profiling.
+type Config struct {
+	Spec       gpu.Spec
+	BatchSizes []int
+	Fractions  []float64
+	// MemShare is the per-job share of partition memory (see
+	// DefaultMemShare).
+	MemShare float64
+	// Strategy is the execution strategy to profile under (§3.4
+	// strategies change the profiles, so each variant profiles its
+	// own).
+	Strategy gpu.Strategy
+	// NewPolicy creates a fresh eviction policy per profiled
+	// partition; nil profiles under LRU.
+	NewPolicy func() gpumem.Policy
+	// PinBytes is the PIN memory per partition.
+	PinBytes int64
+	// RetrainBatch is the training batch size (default 32).
+	RetrainBatch int
+	// RetrainSamples is the sample count per retraining measurement
+	// (default 64).
+	RetrainSamples int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Spec.Name == "" {
+		c.Spec = gpu.V100()
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = DefaultBatchSizes
+	}
+	if len(c.Fractions) == 0 {
+		c.Fractions = DefaultFractions
+	}
+	if c.MemShare == 0 {
+		c.MemShare = DefaultMemShare
+	}
+	if c.RetrainBatch == 0 {
+		c.RetrainBatch = 32
+	}
+	if c.RetrainSamples == 0 {
+		c.RetrainSamples = 64
+	}
+}
+
+func (c *Config) policy() gpumem.Policy {
+	if c.NewPolicy == nil {
+		return gpumem.LRUPolicy{}
+	}
+	return c.NewPolicy()
+}
+
+// Point is one measured (batch, fraction) cell.
+type Point struct {
+	Batch    int
+	Fraction float64
+	// PerBatch is the steady-state latency of one request batch
+	// through the structure (compute + communication).
+	PerBatch simtime.Duration
+	// Comm is the communication component of PerBatch.
+	Comm simtime.Duration
+}
+
+// StructureProfile holds the measured grid and fitted scaling laws for
+// one deployable structure.
+type StructureProfile struct {
+	Structure dnn.Structure
+	// Points holds the measured grid, indexed [batch][fraction].
+	Points map[int]map[float64]Point
+	// Scaling maps batch size → fitted latency(f) = A·f^B power law
+	// (the paper's "non-linear regression model as described in [3]").
+	Scaling map[int]mathx.PowerLaw
+	batches []int
+}
+
+// Batches returns the profiled batch sizes in increasing order.
+func (sp *StructureProfile) Batches() []int { return sp.batches }
+
+// PerBatch returns the per-batch latency at the batch size and GPU
+// fraction. A fraction that was measured directly returns the measured
+// point; any other fraction is evaluated from the fitted power law
+// (the on-line "non-linear regression model"). It returns an error for
+// an unprofiled batch size or non-positive fraction.
+func (sp *StructureProfile) PerBatch(batch int, fraction float64) (simtime.Duration, error) {
+	law, ok := sp.Scaling[batch]
+	if !ok {
+		return 0, fmt.Errorf("profile: batch %d not profiled for %v", batch, sp.Structure)
+	}
+	if fraction <= 0 {
+		return 0, fmt.Errorf("profile: fraction %g", fraction)
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	if cell, ok := sp.Points[batch][fraction]; ok {
+		return cell.PerBatch, nil
+	}
+	return simtime.Duration(law.At(fraction)), nil
+}
+
+// CommFraction returns the communication share of per-batch latency at
+// the profiled full-GPU cell.
+func (sp *StructureProfile) CommFraction(batch int) (float64, error) {
+	cell, ok := sp.Points[batch][1.0]
+	if !ok {
+		return 0, fmt.Errorf("profile: full-GPU cell for batch %d missing", batch)
+	}
+	if cell.PerBatch == 0 {
+		return 0, nil
+	}
+	return float64(cell.Comm) / float64(cell.PerBatch), nil
+}
+
+// RetrainProfile holds per-sample training cost for one architecture.
+type RetrainProfile struct {
+	Arch *dnn.Arch
+	// PerSample maps GPU fraction → amortized per-sample training
+	// latency.
+	PerSample map[float64]simtime.Duration
+	// Scaling is the fitted per-sample latency(f) power law.
+	Scaling mathx.PowerLaw
+}
+
+// Latency returns the modelled retraining latency for the sample count
+// at the fraction.
+func (rp *RetrainProfile) Latency(samples int, fraction float64) (simtime.Duration, error) {
+	if samples < 0 {
+		return 0, fmt.Errorf("profile: %d retraining samples", samples)
+	}
+	if fraction <= 0 {
+		return 0, fmt.Errorf("profile: fraction %g", fraction)
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	per := rp.Scaling.At(fraction)
+	return simtime.Duration(per * float64(samples)), nil
+}
+
+// SamplesWithin returns how many whole samples can be retrained within
+// the budget at the fraction — the inverse profile lookup behind
+// AdaInf's retraining-setting choice (§3.3.2).
+func (rp *RetrainProfile) SamplesWithin(budget simtime.Duration, fraction float64) int {
+	return int(rp.SamplesWithinF(budget, fraction))
+}
+
+// SamplesWithinF is SamplesWithin without integer truncation. A job's
+// incremental retraining slice may cover only part of a sample's
+// training step at a small GPU fraction; the fractional progress
+// carries over to the application's next job rather than being lost.
+func (rp *RetrainProfile) SamplesWithinF(budget simtime.Duration, fraction float64) float64 {
+	if budget <= 0 || fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	per := rp.Scaling.At(fraction)
+	if per <= 0 {
+		return 0
+	}
+	return float64(budget) / per
+}
+
+// AppProfile aggregates profiles for every node of an application.
+type AppProfile struct {
+	App *app.App
+	// Structures maps node name → profiles, shallowest exit first,
+	// full structure last (same order as NodeInstance.Structures).
+	Structures map[string][]*StructureProfile
+	// Retrain maps node name → retraining profile.
+	Retrain map[string]*RetrainProfile
+	// TypeReuse holds the mean reuse latency (ms) per data type
+	// observed during profiling, used to seed the priority eviction
+	// policy (§3.4.2).
+	TypeReuse map[gpumem.ReuseClass]float64
+}
+
+// StructureProfileFor returns the profile of a node's structure by exit
+// depth.
+func (ap *AppProfile) StructureProfileFor(node string, st dnn.Structure) (*StructureProfile, error) {
+	for _, sp := range ap.Structures[node] {
+		if sp.Structure.ExitAfter() == st.ExitAfter() {
+			return sp, nil
+		}
+	}
+	return nil, fmt.Errorf("profile: app %q node %q has no profile for %v", ap.App.Name, node, st)
+}
+
+// BuildAppProfile profiles every structure of every node of the
+// application under the config by executing them on fresh simulated
+// partitions.
+func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
+	cfg.fillDefaults()
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	ap := &AppProfile{
+		App:        a,
+		Structures: make(map[string][]*StructureProfile, len(a.Nodes)),
+		Retrain:    make(map[string]*RetrainProfile, len(a.Nodes)),
+		TypeReuse:  make(map[gpumem.ReuseClass]float64),
+	}
+	reuseSum := make(map[gpumem.ReuseClass]float64)
+	reuseN := make(map[gpumem.ReuseClass]int)
+
+	for i := range a.Nodes {
+		node := &a.Nodes[i]
+		arch, ok := dnn.ByName(node.Model)
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown model %q", node.Model)
+		}
+		for _, st := range dnn.EarlyExitStructures(arch, 3) {
+			sp, err := profileStructure(a, node, st, cfg, reuseSum, reuseN)
+			if err != nil {
+				return nil, err
+			}
+			ap.Structures[node.Name] = append(ap.Structures[node.Name], sp)
+		}
+		rp, err := profileRetraining(a, node, arch, cfg, reuseSum, reuseN)
+		if err != nil {
+			return nil, err
+		}
+		ap.Retrain[node.Name] = rp
+	}
+	for class, sum := range reuseSum {
+		ap.TypeReuse[class] = sum / float64(reuseN[class])
+	}
+	return ap, nil
+}
+
+func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
+	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int) (*StructureProfile, error) {
+
+	sp := &StructureProfile{
+		Structure: st,
+		Points:    make(map[int]map[float64]Point),
+		Scaling:   make(map[int]mathx.PowerLaw),
+		batches:   append([]int(nil), cfg.BatchSizes...),
+	}
+	sort.Ints(sp.batches)
+	for _, batch := range cfg.BatchSizes {
+		sp.Points[batch] = make(map[float64]Point, len(cfg.Fractions))
+		var fr, lat []float64
+		for _, f := range cfg.Fractions {
+			part := gpu.NewPartition(cfg.Spec, f, gpu.PartitionConfig{
+				MemShare: cfg.MemShare,
+				PinBytes: cfg.PinBytes,
+				Policy:   cfg.policy(),
+			})
+			ex := gpu.NewExecutor(part, cfg.Strategy)
+			task := gpu.InferenceTask{
+				App: a.Name, JobID: 1, Structure: st, Batch: batch, SLOms: a.SLOms(),
+			}
+			// Warm-up run loads parameters; the measured run reflects
+			// steady state.
+			warm, err := ex.RunInference(0, task)
+			if err != nil {
+				return nil, fmt.Errorf("profile: %s/%v warm-up: %w", node.Name, st, err)
+			}
+			ex.FinishJob(a.Name)
+			task.JobID = 2
+			res, err := ex.RunInference(warm.End, task)
+			if err != nil {
+				return nil, fmt.Errorf("profile: %s/%v measure: %w", node.Name, st, err)
+			}
+			ex.FinishJob(a.Name)
+			sp.Points[batch][f] = Point{Batch: batch, Fraction: f, PerBatch: res.Total(), Comm: res.Comm}
+			fr = append(fr, f)
+			lat = append(lat, math.Max(float64(res.Total()), 1))
+			harvestReuse(part.Mem(), reuseSum, reuseN)
+		}
+		law, err := mathx.FitPowerLaw(fr, lat)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %s/%v scaling fit: %w", node.Name, st, err)
+		}
+		sp.Scaling[batch] = law
+	}
+	return sp, nil
+}
+
+func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
+	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int) (*RetrainProfile, error) {
+
+	rp := &RetrainProfile{Arch: arch, PerSample: make(map[float64]simtime.Duration, len(cfg.Fractions))}
+	var fr, lat []float64
+	for _, f := range cfg.Fractions {
+		part := gpu.NewPartition(cfg.Spec, f, gpu.PartitionConfig{
+			MemShare: cfg.MemShare,
+			PinBytes: cfg.PinBytes,
+			Policy:   cfg.policy(),
+		})
+		ex := gpu.NewExecutor(part, cfg.Strategy)
+		res, _, err := ex.RunRetraining(0, gpu.RetrainTask{
+			App: a.Name, JobID: 1, Arch: arch,
+			Samples: cfg.RetrainSamples, BatchSize: cfg.RetrainBatch, SLOms: a.SLOms(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("profile: %s retraining: %w", node.Name, err)
+		}
+		per := res.Total() / simtime.Duration(cfg.RetrainSamples)
+		rp.PerSample[f] = per
+		fr = append(fr, f)
+		lat = append(lat, math.Max(float64(per), 1))
+		harvestReuse(part.Mem(), reuseSum, reuseN)
+	}
+	law, err := mathx.FitPowerLaw(fr, lat)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %s retraining scaling fit: %w", node.Name, err)
+	}
+	rp.Scaling = law
+	return rp, nil
+}
+
+func harvestReuse(m *gpumem.Manager, sum map[gpumem.ReuseClass]float64, n map[gpumem.ReuseClass]int) {
+	for _, kind := range []gpumem.Kind{gpumem.KindParam, gpumem.KindIntermediate} {
+		for _, phase := range []gpumem.Phase{gpumem.PhaseInference, gpumem.PhaseRetraining} {
+			class := gpumem.ReuseClass{Kind: kind, Phase: phase}
+			if mean := m.TypeReuseMeanMs(class); mean >= 0 {
+				sum[class] += mean
+				n[class]++
+			}
+		}
+	}
+}
+
+// WorstCase returns the worst-case inference latency of running
+// nRequests through the structure: batches of the given size, each at
+// the per-batch latency for the fraction (§3.3.1).
+func (sp *StructureProfile) WorstCase(batch, nRequests int, fraction float64) (simtime.Duration, error) {
+	if nRequests <= 0 {
+		return 0, nil
+	}
+	per, err := sp.PerBatch(batch, fraction)
+	if err != nil {
+		return 0, err
+	}
+	nBatches := (nRequests + batch - 1) / batch
+	return per * simtime.Duration(nBatches), nil
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"adainf/internal/dnn"
+	"adainf/internal/profile"
+	"adainf/internal/simtime"
+)
+
+// PadRequests returns a conservative planning request count: the
+// predicted count plus ~2 standard deviations of Poisson arrival noise.
+// SLO-focused schedulers plan inference (and the retraining that fills
+// the SLO's spare time) against this quantile so ordinary bursts do not
+// blow the SLO; under-prediction beyond it is what produces the
+// residual SLO misses of §5.1.
+func PadRequests(predicted int) int {
+	if predicted <= 0 {
+		return 0
+	}
+	return predicted + int(math.Ceil(2*math.Sqrt(float64(predicted))))
+}
+
+// FullStructures maps every node of the job to its full structure.
+func FullStructures(jr *JobRequest) map[string]dnn.Structure {
+	out := make(map[string]dnn.Structure, len(jr.Instance.Nodes()))
+	for _, ni := range jr.Instance.Nodes() {
+		out[ni.Node.Name] = ni.FullStructure()
+	}
+	return out
+}
+
+// JobWorstCase sums the worst-case inference latency over the job's
+// tasks for the structures, batch size, and GPU fraction — the DAG's
+// tasks time-share the job's space, so the job's latency is the sum
+// (§3.3.2).
+func JobWorstCase(jr *JobRequest, structs map[string]dnn.Structure, batch int, fraction float64) (simtime.Duration, error) {
+	var total simtime.Duration
+	for _, ni := range jr.Instance.Nodes() {
+		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, structs[ni.Node.Name])
+		if err != nil {
+			return 0, err
+		}
+		wc, err := sp.WorstCase(batch, jr.Requests, fraction)
+		if err != nil {
+			return 0, err
+		}
+		total += wc
+	}
+	return total, nil
+}
+
+// BestBatch returns the profiled batch size minimizing the job's
+// worst-case latency at the fraction (Observations 5–6).
+func BestBatch(jr *JobRequest, structs map[string]dnn.Structure, fraction float64) (int, simtime.Duration, error) {
+	batches := profile.DefaultBatchSizes
+	if sps := jr.Profile.Structures[jr.Instance.Nodes()[0].Node.Name]; len(sps) > 0 {
+		batches = sps[0].Batches()
+	}
+	var (
+		bestBatch int
+		bestLat   simtime.Duration
+	)
+	for _, b := range batches {
+		lat, err := JobWorstCase(jr, structs, b, fraction)
+		if err != nil {
+			return 0, 0, err
+		}
+		if bestBatch == 0 || lat < bestLat {
+			bestBatch, bestLat = b, lat
+		}
+	}
+	if bestBatch == 0 {
+		return 0, 0, fmt.Errorf("sched: no batch sizes profiled for %q", jr.Instance.App.Name)
+	}
+	return bestBatch, bestLat, nil
+}
+
+// RequiredFraction finds the GPU space at which the job's worst-case
+// latency meets its SLO, by bisection over the fitted scaling laws
+// (the §3.3.1 "non-linear regression model" inversion). minFraction
+// floors the answer.
+func RequiredFraction(jr *JobRequest, structs map[string]dnn.Structure, batch int, minFraction float64) (float64, error) {
+	slo := simtime.Duration(jr.Instance.App.SLO)
+	atFull, err := JobWorstCase(jr, structs, batch, 1.0)
+	if err != nil {
+		return 0, err
+	}
+	if atFull >= slo {
+		return 1, nil // even a whole GPU cannot meet the SLO
+	}
+	lo, hi := minFraction, 1.0
+	if atLo, err := JobWorstCase(jr, structs, batch, lo); err != nil {
+		return 0, err
+	} else if atLo <= slo {
+		return lo, nil
+	}
+	for i := 0; i < 32; i++ {
+		mid := (lo + hi) / 2
+		wc, err := JobWorstCase(jr, structs, batch, mid)
+		if err != nil {
+			return 0, err
+		}
+		if wc > slo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

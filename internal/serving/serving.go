@@ -1,0 +1,597 @@
+// Package serving is the edge-server runtime: it replays a request
+// trace against live application instances, drives a scheduling method
+// (AdaInf, a variant, Ekya, or Scrooge) period by period and session by
+// session, executes the resulting plans against the profiled cost
+// model, applies retraining to the models' knowledge, and collects the
+// §5 metrics.
+//
+// Execution is analytic on the hot path: job latencies come from the
+// same offline profiles the schedulers plan with (built by actually
+// executing structures on the simulated GPU), so the scheduler and the
+// "hardware" agree the way they do after profiling in the real system.
+// Prediction error — plans are made for the predicted request count,
+// requests are served at the actual count — is what produces SLO
+// misses, exactly as §5.1 describes.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"adainf/internal/app"
+	"adainf/internal/dist"
+	"adainf/internal/dnn"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/metrics"
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+	"adainf/internal/trace"
+)
+
+// Config parameterizes one serving run.
+type Config struct {
+	// Apps are the concurrent applications (default: the §4 catalog).
+	Apps []*app.App
+	// Method is the scheduling method under test.
+	Method sched.Method
+	// GPUs is the edge server's GPU count (default 4).
+	GPUs float64
+	// Horizon is the simulated duration (default 1000 s as §2).
+	Horizon simtime.Duration
+	// Clock sets session/period granularity (default 5 ms / 50 s).
+	Clock simtime.Clock
+	// Seed drives all randomness.
+	Seed int64
+	// RatePerApp is the mean request rate per application in req/s.
+	// Default 250.
+	RatePerApp float64
+	// Retraining false disables all retraining (the Fig. 4 "w/o"
+	// baseline).
+	Retraining bool
+	// DivergentSelection applies AdaInf's most-divergent-sample
+	// selection boost to incremental retraining.
+	DivergentSelection bool
+	// MemStrategy and NewPolicy select the §3.4 memory behaviour the
+	// profiles are built under (AdaInf: MaximizeUsage + priority
+	// eviction; /M1 drops MaximizeUsage; /M2 drops the priority
+	// policy).
+	MemStrategy gpu.Strategy
+	NewPolicy   func() gpumem.Policy
+	// PoolSamples and BootstrapSamples size the per-period retraining
+	// pool and initial training set.
+	PoolSamples      int
+	BootstrapSamples int
+	// Profiles, when non-nil, supplies pre-built app profiles keyed by
+	// app name (reuse across runs of an experiment sweep).
+	Profiles map[string]*profile.AppProfile
+	// PredictAlpha is the request predictor's EWMA factor (default 0.4).
+	PredictAlpha float64
+	// Debug prints per-period per-node adaptation state to stdout.
+	Debug bool
+}
+
+func (c *Config) fillDefaults() error {
+	if len(c.Apps) == 0 {
+		c.Apps = app.Catalog()
+	}
+	if c.Method == nil {
+		return fmt.Errorf("serving: no method")
+	}
+	if c.GPUs == 0 {
+		c.GPUs = 4
+	}
+	if c.GPUs < 0 {
+		return fmt.Errorf("serving: %g GPUs", c.GPUs)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1000 * time.Second
+	}
+	if c.Clock == (simtime.Clock{}) {
+		c.Clock = simtime.NewClock()
+	}
+	if err := c.Clock.Validate(); err != nil {
+		return err
+	}
+	if c.RatePerApp == 0 {
+		c.RatePerApp = 250
+	}
+	if c.PoolSamples == 0 {
+		c.PoolSamples = 8000
+	}
+	if c.BootstrapSamples == 0 {
+		c.BootstrapSamples = 2000
+	}
+	if c.PredictAlpha == 0 {
+		c.PredictAlpha = 0.4
+	}
+	return nil
+}
+
+// Result carries everything the experiments report.
+type Result struct {
+	Method string
+
+	PeriodAccuracy    []float64
+	MeanAccuracy      float64
+	FinishRateWindows []float64
+	MeanFinishRate    float64
+
+	UpdatedModelFraction []float64
+	UtilizationPerSec    []float64
+
+	MeanInferLatencyMs   float64
+	MeanRetrainLatencyMs float64
+
+	RetrainTimePerPeriodS []float64
+	RetrainSampleFraction []float64
+
+	// Table 1 accounting.
+	PeriodOverhead    simtime.Duration
+	SessionOverhead   simtime.Duration
+	EdgeCloudTransfer simtime.Duration
+	EdgeCloudBytes    int64
+	// MeasuredPeriodPlanning and MeasuredSessionPlanning are the
+	// wall-clock times this implementation actually spent planning.
+	MeasuredPeriodPlanning  time.Duration
+	MeasuredSessionPlanning time.Duration
+
+	Requests int
+	Jobs     int
+}
+
+// appState is the runtime bundle per application.
+type appState struct {
+	inst *app.Instance
+	prof *profile.AppProfile
+	gen  *trace.Generator
+	pred *trace.Predictor
+	// liveDists caches each node's live distribution for the period.
+	liveDists map[string]*dist.Categorical
+	poolDists map[string]*dist.Categorical
+	// updatedAt marks when each node's model was last retrained within
+	// the current period (zero instant+false = not yet).
+	updatedAt map[string]simtime.Instant
+	updated   map[string]bool
+	// carry holds fractional incremental-retraining progress per node:
+	// a short slice at a small GPU fraction may train less than one
+	// whole sample; the remainder carries to the app's next job.
+	carry  map[string]float64
+	leaves []string
+}
+
+// pendingRetrain is a scheduled whole-pool retraining awaiting its
+// completion instant.
+type pendingRetrain struct {
+	sched.PeriodRetrain
+	applied bool
+}
+
+// BuildProfiles builds (or reuses from cache) the per-app offline
+// profiles for the memory configuration.
+func BuildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy) (map[string]*profile.AppProfile, error) {
+	out := make(map[string]*profile.AppProfile, len(apps))
+	byBase := make(map[string]*profile.AppProfile)
+	for _, a := range apps {
+		// CatalogN clones share profiles with their base app: same
+		// models, same SLO band; profile once per DAG shape.
+		base := a.Name
+		if p, ok := byBase[profileKeyOf(a)]; ok {
+			out[base] = p
+			continue
+		}
+		p, err := profile.BuildAppProfile(a, profile.Config{
+			Strategy:  strat,
+			NewPolicy: newPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[base] = p
+		byBase[profileKeyOf(a)] = p
+	}
+	return out, nil
+}
+
+// profileKeyOf summarizes the profile-relevant identity of an app: its
+// models and SLO.
+func profileKeyOf(a *app.App) string {
+	key := fmt.Sprintf("slo=%v", a.SLO)
+	for _, n := range a.Nodes {
+		key += "|" + n.Model
+	}
+	return key
+}
+
+// Run executes one serving simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		var err error
+		profiles, err = BuildProfiles(cfg.Apps, cfg.MemStrategy, cfg.NewPolicy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	states := make([]*appState, len(cfg.Apps))
+	for i, a := range cfg.Apps {
+		inst, err := app.NewInstance(a, app.InstanceConfig{
+			Seed:             cfg.Seed + int64(i)*104729,
+			PoolSamples:      cfg.PoolSamples,
+			BootstrapSamples: cfg.BootstrapSamples,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prof, ok := profiles[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("serving: no profile for app %q", a.Name)
+		}
+		curve := trace.DefaultTwitterLike(cfg.RatePerApp, cfg.Horizon, cfg.Seed+int64(i)*31)
+		pred, err := trace.NewPredictor(cfg.PredictAlpha)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = &appState{
+			inst:      inst,
+			prof:      prof,
+			gen:       trace.NewGenerator(curve, cfg.Seed+int64(i)*17+1),
+			pred:      pred,
+			updatedAt: make(map[string]simtime.Instant),
+			updated:   make(map[string]bool),
+			leaves:    a.Leaves(),
+		}
+	}
+
+	rec := metrics.NewRecorder(cfg.Horizon, cfg.Clock.Period, cfg.GPUs)
+	res := &Result{Method: cfg.Method.Name()}
+	rng := dist.NewRNG(cfg.Seed ^ 0x5eed)
+
+	var pending []*pendingRetrain
+	ewmaTa := 50 * time.Millisecond
+	nSessions := int(cfg.Horizon / cfg.Clock.Session)
+	sessionsPerPeriod := cfg.Clock.SessionsPerPeriod()
+
+	for sess := 0; sess < nSessions; sess++ {
+		start := cfg.Clock.SessionStart(sess)
+		end := start.Add(cfg.Clock.Session)
+
+		// ---- Period boundary ----
+		if sess%sessionsPerPeriod == 0 {
+			period := sess / sessionsPerPeriod
+			if period > 0 {
+				if cfg.Debug {
+					for _, st := range states {
+						for _, ni := range st.inst.Nodes() {
+							live := ni.LiveDist()
+							pd, _ := ni.PoolDist()
+							fmt.Printf("debug p%d %s/%s: used=%d/%d trained=%v liveAcc=%.3f poolAcc=%.3f\n",
+								period-1, st.inst.App.Name, ni.Node.Name, ni.UsedSamples, len(ni.Pool.Samples),
+								ni.TrainedThisPeriod(), ni.State.Accuracy(live), ni.State.Accuracy(pd))
+						}
+					}
+				}
+				for _, st := range states {
+					st.inst.AdvancePeriod(cfg.PoolSamples)
+				}
+			}
+			for _, st := range states {
+				st.liveDists = make(map[string]*dist.Categorical)
+				st.poolDists = make(map[string]*dist.Categorical)
+				st.updatedAt = make(map[string]simtime.Instant)
+				st.updated = make(map[string]bool)
+				st.carry = make(map[string]float64)
+				for _, ni := range st.inst.Nodes() {
+					st.liveDists[ni.Node.Name] = ni.LiveDist()
+					pd, err := ni.PoolDist()
+					if err != nil {
+						return nil, err
+					}
+					st.poolDists[ni.Node.Name] = pd
+					rec.SetPoolSize(period, len(ni.Pool.Samples))
+				}
+			}
+			pending = pending[:0]
+			pctx := &sched.PeriodContext{
+				Period: period,
+				Start:  start,
+				Length: cfg.Clock.Period,
+				GPUs:   cfg.GPUs,
+				Rand:   rng,
+			}
+			for _, st := range states {
+				pctx.Jobs = append(pctx.Jobs, sched.JobRequest{Instance: st.inst, Profile: st.prof})
+			}
+			wall := time.Now()
+			pplan, err := cfg.Method.OnPeriodStart(pctx)
+			res.MeasuredPeriodPlanning += time.Since(wall)
+			if err != nil {
+				return nil, err
+			}
+			res.PeriodOverhead = pplan.Overhead
+			res.EdgeCloudTransfer = pplan.EdgeCloudTransfer
+			res.EdgeCloudBytes = pplan.EdgeCloudBytes
+			if cfg.Retraining {
+				for i := range pplan.Retrains {
+					pending = append(pending, &pendingRetrain{PeriodRetrain: pplan.Retrains[i]})
+					r := &pplan.Retrains[i]
+					if r.GPUFraction > 0 && r.Busy > 0 {
+						rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
+					}
+				}
+			}
+		}
+
+		// ---- Apply completed whole-pool retrainings ----
+		var retrainGPUBusy float64
+		for _, pr := range pending {
+			if !pr.applied && !start.Before(pr.Completion) {
+				pr.applied = true
+				st := stateByName(states, pr.App)
+				if st == nil {
+					continue
+				}
+				ni := st.inst.ByName[pr.Node]
+				target := st.poolDists[pr.Node]
+				if ni != nil && target != nil {
+					used := ni.ConsumeSamples(pr.Samples)
+					ni.State.Train(target, float64(used))
+					ni.NoteTrained()
+					st.updatedAt[pr.Node] = pr.Completion
+					st.updated[pr.Node] = true
+					rec.RecordRetrainEffort(pr.Completion, pr.Busy, used)
+				}
+			}
+			if !pr.applied && pr.GPUFraction > 0 {
+				activeFrom := pr.Completion.Add(-pr.Busy)
+				if !start.Before(activeFrom) {
+					retrainGPUBusy += pr.GPUFraction
+				}
+			}
+		}
+
+		// ---- Arrivals and prediction ----
+		actual := make([]int, len(states))
+		predicted := make([]int, len(states))
+		anyWork := false
+		for i, st := range states {
+			actual[i] = st.gen.CountInWindow(start, end)
+			predicted[i] = st.pred.Predict()
+			st.pred.Observe(actual[i])
+			if actual[i] > 0 || predicted[i] > 0 {
+				anyWork = true
+			}
+		}
+		if !anyWork {
+			continue
+		}
+
+		// ---- Session planning ----
+		avail := cfg.GPUs - retrainGPUBusy
+		if avail < 0.1 {
+			avail = 0.1
+		}
+		concurrency := math.Ceil(float64(ewmaTa) / float64(cfg.Clock.Session))
+		if concurrency < 1 {
+			concurrency = 1
+		}
+		share := avail / concurrency
+		if share > avail {
+			share = avail
+		}
+		// Quantize for plan-cache friendliness.
+		share = math.Round(share*100) / 100
+		if share < 0.02 {
+			share = 0.02
+		}
+		ctx := &sched.SessionContext{
+			Session:  sess,
+			Start:    start,
+			GPUShare: share,
+		}
+		for i, st := range states {
+			ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
+				Instance: st.inst,
+				Profile:  st.prof,
+				Requests: predicted[i],
+			})
+		}
+		wall := time.Now()
+		plan, err := cfg.Method.PlanSession(ctx)
+		res.MeasuredSessionPlanning += time.Since(wall)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Overhead > res.SessionOverhead {
+			// Report the method's solve cost, not a cache hit's zero.
+			res.SessionOverhead = plan.Overhead
+		}
+
+		// ---- Execute jobs ----
+		var sessionMakespan simtime.Duration
+		for i, st := range states {
+			if actual[i] == 0 {
+				continue
+			}
+			jp := jobPlanFor(plan, st.inst.App.Name)
+			dur, err := runJob(cfg, rec, rng, st, jp, plan.Overhead, start, actual[i], res)
+			if err != nil {
+				return nil, err
+			}
+			if dur > sessionMakespan {
+				sessionMakespan = dur
+			}
+		}
+		if sessionMakespan > 0 {
+			ewmaTa = time.Duration(0.1*float64(sessionMakespan) + 0.9*float64(ewmaTa))
+		}
+	}
+
+	res.PeriodAccuracy = rec.PeriodAccuracy()
+	res.MeanAccuracy = rec.MeanAccuracy()
+	res.FinishRateWindows = rec.FinishRateWindows()
+	res.MeanFinishRate = rec.MeanFinishRate()
+	res.UpdatedModelFraction = rec.UpdatedModelFraction()
+	res.UtilizationPerSec = rec.UtilizationPerSecond()
+	res.MeanInferLatencyMs = rec.MeanInferLatencyMs()
+	res.MeanRetrainLatencyMs = rec.MeanRetrainLatencyMs()
+	res.RetrainTimePerPeriodS = rec.RetrainTimePerPeriodS()
+	res.RetrainSampleFraction = rec.RetrainSampleFraction()
+	return res, nil
+}
+
+func stateByName(states []*appState, name string) *appState {
+	for _, st := range states {
+		if st.inst.App.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
+func jobPlanFor(plan *sched.SessionPlan, appName string) *sched.JobPlan {
+	for i := range plan.Jobs {
+		if plan.Jobs[i].App == appName {
+			return &plan.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// runJob executes one job against the cost model: incremental
+// retraining (when planned) followed by inference per DAG node, scoring
+// every request's predictions and SLO outcome. It returns the job's
+// completion offset from the session start.
+func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp *sched.JobPlan,
+	lead simtime.Duration, start simtime.Instant, actual int, res *Result) (simtime.Duration, error) {
+
+	a := st.inst.App
+	fraction := 0.0
+	batch := 0
+	var nodes []sched.NodePlan
+	if jp != nil {
+		fraction, batch, nodes = jp.Fraction, jp.Batch, jp.Nodes
+	}
+	if fraction <= 0 || batch <= 0 || len(nodes) == 0 {
+		// The scheduler did not plan for this app (predicted zero
+		// requests): serve with a minimal fallback allocation.
+		fraction = 0.02
+		batch = fallbackBatch(actual)
+		nodes = nodes[:0]
+		for _, ni := range st.inst.Nodes() {
+			nodes = append(nodes, sched.NodePlan{Node: ni.Node.Name, Structure: ni.FullStructure()})
+		}
+	}
+
+	t := start.Add(lead)
+	jobStart := t
+	nBatches := (actual + batch - 1) / batch
+	var inferTotal, retrainTotal simtime.Duration
+
+	for _, np := range nodes {
+		ni := st.inst.ByName[np.Node]
+		if ni == nil {
+			return 0, fmt.Errorf("serving: plan for unknown node %q of %q", np.Node, a.Name)
+		}
+		// Incremental retraining before the node's inference (§3.2):
+		// the job trains for its allocated slice, with fractional
+		// sample progress carried to the app's next job.
+		if cfg.Retraining && np.RetrainTime > 0 {
+			remaining := ni.RemainingSamples()
+			rp := st.prof.Retrain[np.Node]
+			if remaining > 0 && rp != nil {
+				samplesF := rp.SamplesWithinF(np.RetrainTime, fraction)
+				lat := np.RetrainTime
+				if samplesF > float64(remaining) {
+					// The pool cannot absorb the whole slice.
+					lat = simtime.Duration(float64(lat) * float64(remaining) / samplesF)
+					samplesF = float64(remaining)
+				}
+				if samplesF > 0 {
+					st.carry[np.Node] += samplesF
+					whole := int(st.carry[np.Node])
+					if whole > 0 {
+						st.carry[np.Node] -= float64(whole)
+						ni.ConsumeSamples(whole)
+					}
+					eff := samplesF
+					if cfg.DivergentSelection {
+						eff *= dnn.DivergentSelectionBoost
+					}
+					ni.State.Train(st.poolDists[np.Node], eff)
+					ni.NoteTrained()
+					t = t.Add(lat)
+					retrainTotal += lat
+					st.updatedAt[np.Node] = t
+					st.updated[np.Node] = true
+					rec.RecordRetrainEffort(start, lat, whole)
+				}
+			}
+		}
+		// Inference at the realized request count.
+		sp, err := st.prof.StructureProfileFor(np.Node, np.Structure)
+		if err != nil {
+			return 0, err
+		}
+		per, err := sp.PerBatch(batch, fraction)
+		if err != nil {
+			return 0, err
+		}
+		inferLat := per * simtime.Duration(nBatches)
+		t = t.Add(inferLat)
+		inferTotal += inferLat
+	}
+
+	jobEnd := t
+	latency := jobEnd.Sub(start)
+	met := latency <= a.SLO
+	rec.RecordJob(inferTotal, retrainTotal)
+	rec.RecordBusy(jobStart, jobEnd, fraction)
+	res.Jobs++
+
+	// Score every request: one SLO outcome per request and one
+	// prediction per leaf model.
+	structOf := make(map[string]dnn.Structure, len(nodes))
+	for _, np := range nodes {
+		structOf[np.Node] = np.Structure
+	}
+	for r := 0; r < actual; r++ {
+		rec.RecordRequest(start, met)
+		res.Requests++
+	}
+	for _, leaf := range st.leaves {
+		ni := st.inst.ByName[leaf]
+		live := st.liveDists[leaf]
+		stct, ok := structOf[leaf]
+		if !ok {
+			stct = ni.FullStructure()
+		}
+		probs := make([]float64, live.K())
+		for c := range probs {
+			probs[c] = ni.State.CorrectProb(c, live, stct)
+		}
+		usedUpdated := st.updated[leaf]
+		for r := 0; r < actual; r++ {
+			class := live.Sample(rng)
+			correct := rng.Float64() < probs[class]
+			rec.RecordPrediction(start, correct, usedUpdated)
+		}
+	}
+	return latency, nil
+}
+
+func fallbackBatch(actual int) int {
+	for _, b := range profile.DefaultBatchSizes {
+		if b >= actual {
+			return b
+		}
+	}
+	return profile.DefaultBatchSizes[len(profile.DefaultBatchSizes)-1]
+}

@@ -1,0 +1,94 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInstantArithmetic(t *testing.T) {
+	var zero Instant
+	one := zero.Add(time.Second)
+	if got := one.Sub(zero); got != time.Second {
+		t.Fatalf("Sub = %v, want 1s", got)
+	}
+	if !zero.Before(one) || !one.After(zero) {
+		t.Fatalf("ordering broken: zero=%v one=%v", zero, one)
+	}
+	if one.Seconds() != 1 {
+		t.Fatalf("Seconds = %v, want 1", one.Seconds())
+	}
+	if one.Milliseconds() != 1000 {
+		t.Fatalf("Milliseconds = %v, want 1000", one.Milliseconds())
+	}
+	if one.String() != "1s" {
+		t.Fatalf("String = %q, want 1s", one.String())
+	}
+}
+
+func TestClockIndices(t *testing.T) {
+	c := NewClock()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default clock invalid: %v", err)
+	}
+	if got := c.SessionsPerPeriod(); got != 10000 {
+		t.Fatalf("SessionsPerPeriod = %d, want 10000 (50s / 5ms)", got)
+	}
+	cases := []struct {
+		t       Instant
+		session int
+		period  int
+	}{
+		{Instant(0), 0, 0},
+		{Instant(4_999_999 * time.Nanosecond), 0, 0},
+		{Instant(5 * time.Millisecond), 1, 0},
+		{Instant(50 * time.Second), 10000, 1},
+		{Instant(125 * time.Second), 25000, 2},
+	}
+	for _, tc := range cases {
+		if got := c.SessionIndex(tc.t); got != tc.session {
+			t.Errorf("SessionIndex(%v) = %d, want %d", tc.t, got, tc.session)
+		}
+		if got := c.PeriodIndex(tc.t); got != tc.period {
+			t.Errorf("PeriodIndex(%v) = %d, want %d", tc.t, got, tc.period)
+		}
+	}
+}
+
+func TestClockStarts(t *testing.T) {
+	c := NewClock()
+	if got := c.SessionStart(3); got != Instant(15*time.Millisecond) {
+		t.Fatalf("SessionStart(3) = %v", got)
+	}
+	if got := c.PeriodStart(2); got != Instant(100*time.Second) {
+		t.Fatalf("PeriodStart(2) = %v", got)
+	}
+	// Round trip: the start of session i must index back to i.
+	for i := 0; i < 100; i += 7 {
+		if got := c.SessionIndex(c.SessionStart(i)); got != i {
+			t.Fatalf("round trip session %d -> %d", i, got)
+		}
+	}
+}
+
+func TestClockValidate(t *testing.T) {
+	bad := []Clock{
+		{Session: 0, Period: time.Second},
+		{Session: time.Millisecond, Period: 0},
+		{Session: 3 * time.Millisecond, Period: 50 * time.Second},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestClockPanicsOnZeroGranularity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SessionIndex on zero session did not panic")
+		}
+	}()
+	var c Clock
+	c.SessionIndex(0)
+}

@@ -1,0 +1,198 @@
+package synthdata
+
+import (
+	"math"
+	"testing"
+
+	"adainf/internal/dist"
+	"adainf/internal/mathx"
+)
+
+func vehicleSpec() TaskSpec {
+	return TaskSpec{
+		Name:       "vehicle-type",
+		Classes:    []string{"car", "bus", "police", "ambulance"},
+		FeatureDim: 8,
+		LabelDrift: dist.LabelDrift{WalkSigma: 0.4, ShockProb: 0.3, ShockScale: 2},
+	}
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	bad := []TaskSpec{
+		{},
+		{Name: "x", Classes: []string{"a"}, FeatureDim: 4},
+		{Name: "x", Classes: []string{"a", "b"}, FeatureDim: 0},
+		{Name: "x", Classes: []string{"a", "b"}, FeatureDim: 4, InitialWeights: []float64{1}},
+	}
+	for i, spec := range bad {
+		if _, err := NewStream(spec, 1); err == nil {
+			t.Errorf("case %d: no error for invalid spec", i)
+		}
+	}
+}
+
+func TestStreamSampleShape(t *testing.T) {
+	s, err := NewStream(vehicleSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := s.Sample(100)
+	if len(samples) != 100 {
+		t.Fatalf("len = %d", len(samples))
+	}
+	for _, smp := range samples {
+		if smp.Class < 0 || smp.Class >= 4 {
+			t.Fatalf("class out of range: %d", smp.Class)
+		}
+		if len(smp.Features) != 8 {
+			t.Fatalf("feature dim = %d", len(smp.Features))
+		}
+		if smp.Period != 0 {
+			t.Fatalf("period = %d, want 0", smp.Period)
+		}
+	}
+}
+
+func TestStreamDeterministicForSeed(t *testing.T) {
+	a, _ := NewStream(vehicleSpec(), 42)
+	b, _ := NewStream(vehicleSpec(), 42)
+	sa := a.Sample(10)
+	sb := b.Sample(10)
+	for i := range sa {
+		if sa[i].Class != sb[i].Class {
+			t.Fatal("same seed diverged on classes")
+		}
+		for j := range sa[i].Features {
+			if sa[i].Features[j] != sb[i].Features[j] {
+				t.Fatal("same seed diverged on features")
+			}
+		}
+	}
+}
+
+func TestAdvancePeriodDriftsLabels(t *testing.T) {
+	s, _ := NewStream(vehicleSpec(), 7)
+	before := s.LabelDist()
+	var totalJS float64
+	for i := 0; i < 10; i++ {
+		p := s.AdvancePeriod()
+		if p != i+1 {
+			t.Fatalf("period = %d, want %d", p, i+1)
+		}
+		totalJS += s.PeriodDivergence(p)
+	}
+	if totalJS == 0 {
+		t.Fatal("10 drifting periods produced zero total divergence")
+	}
+	if before.JSDivergence(s.LabelDist()) == 0 {
+		t.Fatal("distribution did not move after 10 periods")
+	}
+}
+
+func TestZeroDriftTaskStaysPut(t *testing.T) {
+	spec := TaskSpec{
+		Name:       "object-detection",
+		Classes:    []string{"vehicle", "person"},
+		FeatureDim: 8,
+		// No LabelDrift / FeatureDrift: the paper's detection task.
+	}
+	s, _ := NewStream(spec, 9)
+	m0 := s.ClassMean(0)
+	for i := 0; i < 20; i++ {
+		s.AdvancePeriod()
+		if d := s.PeriodDivergence(s.Period()); d != 0 {
+			t.Fatalf("drift-free task diverged: %v at period %d", d, s.Period())
+		}
+	}
+	m1 := s.ClassMean(0)
+	if mathx.Norm(mathx.Sub(m0, m1)) != 0 {
+		t.Fatal("drift-free class mean moved")
+	}
+}
+
+func TestLabelDistAtHistory(t *testing.T) {
+	s, _ := NewStream(vehicleSpec(), 3)
+	p0 := s.LabelDist()
+	s.AdvancePeriod()
+	s.AdvancePeriod()
+	if got := s.LabelDistAt(0); got.JSDivergence(p0) != 0 {
+		t.Fatal("history at period 0 does not match original")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unrecorded period")
+		}
+	}()
+	s.LabelDistAt(99)
+}
+
+func TestSamplesSeparableByClass(t *testing.T) {
+	// With default separation 4 and noise 1, a nearest-mean classifier
+	// should get most samples right — the features must carry class
+	// signal for the drift detector to work with.
+	s, _ := NewStream(vehicleSpec(), 11)
+	samples := s.Sample(500)
+	correct := 0
+	for _, smp := range samples {
+		best, bestD := -1, math.Inf(1)
+		for c := 0; c < 4; c++ {
+			d := mathx.Norm(mathx.Sub(smp.Features, s.ClassMean(c)))
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == smp.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(samples)); acc < 0.9 {
+		t.Fatalf("nearest-mean accuracy %v, want ≥0.9 (classes not separable)", acc)
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	s, _ := NewStream(vehicleSpec(), 5)
+	d := Collect(s, 200)
+	if d.Task != "vehicle-type" || len(d.Samples) != 200 {
+		t.Fatalf("dataset = %q/%d", d.Task, len(d.Samples))
+	}
+	if got := len(d.MeanFeature()); got != 8 {
+		t.Fatalf("MeanFeature dim = %d", got)
+	}
+	ld := d.LabelDistribution(4)
+	var sum float64
+	for _, p := range ld {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("label distribution sums to %v", sum)
+	}
+	if rows := d.FeatureMatrix(); len(rows) != 200 {
+		t.Fatalf("FeatureMatrix rows = %d", len(rows))
+	}
+}
+
+func TestEmpiricalLabelDistTracksTrueDist(t *testing.T) {
+	s, _ := NewStream(vehicleSpec(), 13)
+	for i := 0; i < 5; i++ {
+		s.AdvancePeriod()
+	}
+	d := Collect(s, 20000)
+	emp := d.LabelDistribution(4)
+	truth := s.LabelDist().Probs()
+	for i := range emp {
+		if math.Abs(emp[i]-truth[i]) > 0.02 {
+			t.Fatalf("empirical %v vs true %v diverge at class %d", emp, truth, i)
+		}
+	}
+}
+
+func TestPeriodDivergencePanicsOutOfRange(t *testing.T) {
+	s, _ := NewStream(vehicleSpec(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.PeriodDivergence(1) // period 1 not yet advanced
+}
