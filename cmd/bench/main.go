@@ -1,0 +1,182 @@
+// Command bench measures the end-to-end cost of regenerating the
+// heaviest evaluation artifacts (Fig. 18, Fig. 19, Fig. 22 in their
+// Quick configuration) and records the numbers as a JSON file under
+// results/, so performance work on the scheduler and the experiment
+// engine stays honest across commits.
+//
+// Usage:
+//
+//	bench [-workers N] [-seed S] [-out DIR] [-baseline FILE]
+//
+// Each artifact runs once (the simulations are long enough that a
+// single iteration is a stable measurement) and is reported as
+// wall-clock time, heap allocations, and bytes allocated. When the
+// baseline file exists, a comparison table with speedup and allocation
+// ratios is printed; CI keeps results/BENCH_baseline.json pinned at the
+// numbers measured before the parallel engine and the allocation work
+// landed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"adainf/internal/experiments"
+)
+
+type benchResult struct {
+	Name        string `json:"name"`
+	WallNS      int64  `json:"wall_ns"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type benchFile struct {
+	Date       string        `json:"date"`
+	Note       string        `json:"note,omitempty"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Seed       int64         `json:"seed"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var artifacts = []struct {
+	name string
+	fn   func(experiments.Options) (*experiments.Result, error)
+}{
+	{"fig18", experiments.Fig18},
+	{"fig19", experiments.Fig19},
+	{"fig22", experiments.Fig22},
+}
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 0, "experiment workers (0 = one per CPU)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		outDir   = flag.String("out", "results", "directory for BENCH_<date>.json")
+		baseline = flag.String("baseline", filepath.Join("results", "BENCH_baseline.json"),
+			"baseline file to compare against (skipped if missing)")
+	)
+	flag.Parse()
+
+	out := benchFile{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Seed:       *seed,
+	}
+	for _, a := range artifacts {
+		r, err := measure(a.fn, experiments.Options{Quick: true, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		r.Name = a.name
+		out.Benchmarks = append(out.Benchmarks, r)
+		fmt.Printf("%-8s %12v  %12d allocs  %14d B\n",
+			a.name, time.Duration(r.WallNS).Round(time.Millisecond), r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+out.Date+".json")
+	if err := writeJSON(path, out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("no baseline at %s; skipping comparison\n", *baseline)
+		return
+	}
+	compare(base, out)
+}
+
+// measure runs one artifact and reports its wall-clock time and heap
+// traffic. A single iteration suffices: the quick simulations run for
+// seconds, far above timer and GC noise.
+func measure(fn func(experiments.Options) (*experiments.Result, error),
+	o experiments.Options) (benchResult, error) {
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := fn(o)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if len(res.Series) == 0 && len(res.Tables) == 0 {
+		return benchResult{}, fmt.Errorf("%s produced no output", res.ID)
+	}
+	return benchResult{
+		WallNS:      wall.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}, nil
+}
+
+func writeJSON(path string, v benchFile) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readBaseline(path string) (benchFile, error) {
+	var f benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(buf, &f)
+	return f, err
+}
+
+func compare(base, cur benchFile) {
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Printf("\nvs baseline (%s%s):\n", base.Date, noteSuffix(base.Note))
+	fmt.Printf("%-8s %10s %10s %9s %12s %12s %8s\n",
+		"bench", "base", "now", "speedup", "base allocs", "now allocs", "ratio")
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Printf("%-8s (no baseline entry)\n", c.Name)
+			continue
+		}
+		fmt.Printf("%-8s %10v %10v %8.2fx %12d %12d %7.2fx\n",
+			c.Name,
+			time.Duration(b.WallNS).Round(10*time.Millisecond),
+			time.Duration(c.WallNS).Round(10*time.Millisecond),
+			float64(b.WallNS)/float64(c.WallNS),
+			b.AllocsPerOp, c.AllocsPerOp,
+			float64(b.AllocsPerOp)/float64(c.AllocsPerOp))
+	}
+}
+
+func noteSuffix(note string) string {
+	if note == "" {
+		return ""
+	}
+	return ", " + note
+}

@@ -46,10 +46,12 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		horizon = flag.Duration("horizon", 0, "serving horizon (default 500s, i.e. 10 periods)")
-		rate    = flag.Float64("rate", 0, "mean request rate per application (req/s, default 250)")
-		quick   = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		horizon  = flag.Duration("horizon", 0, "serving horizon (default 500s, i.e. 10 periods)")
+		rate     = flag.Float64("rate", 0, "mean request rate per application (req/s, default 250)")
+		quick    = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		parallel = flag.Int("parallel", 0, "simulation arms run concurrently (0 = one per CPU, 1 = sequential; output is identical either way)")
+		progress = flag.Bool("progress", false, "report each completed simulation arm to stderr")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -61,7 +63,16 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = allIDs()
 	}
-	opts := experiments.Options{Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick}
+	opts := experiments.Options{
+		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
+		Workers: *parallel,
+	}
+	if *progress {
+		opts.Progress = func(ev experiments.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "repro: %s arm %d/%d done (%s)\n",
+				ev.Artifact, ev.Done, ev.Total, ev.Arm)
+		}
+	}
 	exit := 0
 	for _, id := range args {
 		fn, ok := runners[id]

@@ -9,6 +9,7 @@ package baselines
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -33,11 +34,35 @@ type Ekya struct {
 	// chosen by the accuracy hill-climb in OnPeriodStart.
 	retrainShare float64
 	minFraction  float64
+
+	// sessionCache memoizes the per-job session decision. Ekya serves
+	// every request through the full structure and never retrains
+	// within a session, so the decision depends only on the static
+	// profiles — it is valid for the whole run, not just one period.
+	sessionCache map[ekyaKey]*ekyaBase
+	// Reusable plan storage (see sched.Scheduler: a plan is valid only
+	// until the next PlanSession call).
+	plan    sched.SessionPlan
+	nodeBuf []sched.NodePlan
+}
+
+type ekyaKey struct {
+	app       string
+	requests  int
+	fracMilli int
+}
+
+// ekyaBase is the memoized inference plan of one job: batch size and
+// per-node structures/times at the allocated fraction.
+type ekyaBase struct {
+	batch      int
+	nodes      []sched.NodePlan
+	inferTotal simtime.Duration
 }
 
 // NewEkya returns an Ekya baseline.
 func NewEkya() *Ekya {
-	return &Ekya{minFraction: 0.02}
+	return &Ekya{minFraction: 0.02, sessionCache: make(map[ekyaKey]*ekyaBase)}
 }
 
 // Name implements sched.Scheduler.
@@ -191,9 +216,14 @@ func (e *Ekya) RetrainShare() float64 { return e.retrainShare }
 
 // PlanSession implements sched.Scheduler: GPU space is divided evenly
 // among the session's jobs; the request batch size is optimized per
-// job; structures stay full and no incremental retraining happens.
+// job; structures stay full and no incremental retraining happens. The
+// returned plan aliases reusable storage (see sched.Scheduler).
 func (e *Ekya) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
-	plan := &sched.SessionPlan{Session: ctx.Session}
+	e.plan = sched.SessionPlan{Session: ctx.Session, Jobs: e.plan.Jobs[:0]}
+	plan := &e.plan
+	if cap(plan.Jobs) < len(ctx.Jobs) {
+		plan.Jobs = make([]sched.JobPlan, 0, len(ctx.Jobs))
+	}
 	active := 0
 	for i := range ctx.Jobs {
 		if ctx.Jobs[i].Requests > 0 {
@@ -213,29 +243,57 @@ func (e *Ekya) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error
 		if f < e.minFraction {
 			f = e.minFraction
 		}
-		structs := sched.FullStructures(jr)
-		batch, _, err := sched.BestBatch(jr, structs, f)
+		base, err := e.jobBaseFor(jr, f)
 		if err != nil {
-			return nil, fmt.Errorf("baselines: ekya batch: %w", err)
+			return nil, err
 		}
-		jp := sched.JobPlan{App: jr.Instance.App.Name, Fraction: f, Batch: batch}
-		nBatches := (jr.Requests + batch - 1) / batch
-		for _, ni := range jr.Instance.Nodes() {
-			sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, structs[ni.Node.Name])
-			if err != nil {
-				return nil, err
-			}
-			per, err := sp.PerBatch(batch, f)
-			if err != nil {
-				return nil, err
-			}
-			it := per * simtime.Duration(nBatches)
-			jp.InferTime += it
-			jp.Nodes = append(jp.Nodes, sched.NodePlan{
-				Node: ni.Node.Name, Structure: structs[ni.Node.Name], InferTime: it,
-			})
-		}
-		plan.Jobs = append(plan.Jobs, jp)
+		plan.Jobs = append(plan.Jobs, sched.JobPlan{
+			App:       jr.Instance.App.Name,
+			Fraction:  f,
+			Batch:     base.batch,
+			Nodes:     base.nodes,
+			InferTime: base.inferTotal,
+		})
 	}
 	return plan, nil
+}
+
+// jobBaseFor computes (or recalls) a job's session decision at the
+// fraction.
+func (e *Ekya) jobBaseFor(jr *sched.JobRequest, f float64) (*ekyaBase, error) {
+	key := ekyaKey{
+		app:       jr.Instance.App.Name,
+		requests:  jr.Requests,
+		fracMilli: int(math.Round(f * 1000)),
+	}
+	if e.sessionCache == nil {
+		e.sessionCache = make(map[ekyaKey]*ekyaBase)
+	}
+	if base, ok := e.sessionCache[key]; ok {
+		return base, nil
+	}
+	structs := sched.FullStructures(jr)
+	batch, _, err := sched.BestBatch(jr, structs, f)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: ekya batch: %w", err)
+	}
+	base := &ekyaBase{batch: batch}
+	nBatches := (jr.Requests + batch - 1) / batch
+	for i, np := range jr.Profile.Index() {
+		sp, err := np.ForStructure(structs[i])
+		if err != nil {
+			return nil, err
+		}
+		per, err := sp.PerBatch(batch, f)
+		if err != nil {
+			return nil, err
+		}
+		it := per * simtime.Duration(nBatches)
+		base.inferTotal += it
+		base.nodes = append(base.nodes, sched.NodePlan{
+			Node: np.Node, Structure: structs[i], InferTime: it,
+		})
+	}
+	e.sessionCache[key] = base
+	return base, nil
 }

@@ -176,8 +176,8 @@ func (s *Scrooge) solve(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
 		}
 		jp := sched.JobPlan{App: jr.Instance.App.Name, Fraction: f, Batch: batch}
 		nBatches := (jr.Requests + batch - 1) / batch
-		for _, ni := range jr.Instance.Nodes() {
-			sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, structs[ni.Node.Name])
+		for ni, np := range jr.Profile.Index() {
+			sp, err := np.ForStructure(structs[ni])
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +188,7 @@ func (s *Scrooge) solve(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
 			it := per * simtime.Duration(nBatches)
 			jp.InferTime += it
 			jp.Nodes = append(jp.Nodes, sched.NodePlan{
-				Node: ni.Node.Name, Structure: structs[ni.Node.Name], InferTime: it,
+				Node: np.Node, Structure: structs[ni], InferTime: it,
 			})
 		}
 		plan.Jobs = append(plan.Jobs, jp)

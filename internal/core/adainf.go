@@ -21,6 +21,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"adainf/internal/dnn"
@@ -77,6 +78,15 @@ type Scheduler struct {
 	// session.
 	reqFracCache map[reqKey]float64
 	jobBaseCache map[baseKey]*jobBase
+
+	// Reusable planning storage. PlanSession runs every 5 ms session;
+	// these arenas keep its steady state allocation-free. The returned
+	// plan aliases them, which is why sched.Scheduler documents that a
+	// plan is only valid until the next PlanSession call.
+	required  []float64
+	fractions []float64
+	plan      sched.SessionPlan
+	nodeBuf   []sched.NodePlan
 }
 
 type reqKey struct {
@@ -88,6 +98,26 @@ type baseKey struct {
 	app       string
 	requests  int
 	fracMilli int
+}
+
+// fracKey quantizes a GPU fraction to the cache key's 1e-3 grid.
+// Rounding (not truncation) keeps near-identical fractions on the same
+// side of a grid boundary: 0.299999... and 0.3 must share an entry.
+func fracKey(fraction float64) int {
+	return int(math.Round(fraction * 1000))
+}
+
+// resizeFloats returns a zeroed float slice of length n, reusing the
+// given backing array when it is large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // jobBase is the cached inference-side plan of a job: everything
@@ -125,25 +155,44 @@ func (s *Scheduler) Name() string {
 	return "AdaInf"
 }
 
-// PlanSession implements sched.Scheduler.
+// PlanSession implements sched.Scheduler. The returned plan aliases the
+// scheduler's reusable storage and is valid until the next PlanSession
+// call (see sched.Scheduler).
 func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
-	plan := &sched.SessionPlan{Session: ctx.Session, Overhead: s.opts.Overhead}
+	s.plan = sched.SessionPlan{
+		Session:  ctx.Session,
+		Overhead: s.opts.Overhead,
+		Jobs:     s.plan.Jobs[:0],
+	}
+	plan := &s.plan
 	if len(ctx.Jobs) == 0 {
 		return plan, nil
 	}
 	// Bind each job to its current retraining-inference DAG (built by
 	// OnPeriodStart) unless the caller supplied one explicitly, and
 	// plan against a conservative request quantile.
+	totalNodes := 0
 	for i := range ctx.Jobs {
 		if ctx.Jobs[i].Dag == nil {
 			ctx.Jobs[i].Dag = s.dags[ctx.Jobs[i].Instance.App.Name]
 		}
 		ctx.Jobs[i].Requests = sched.PadRequests(ctx.Jobs[i].Requests)
+		totalNodes += len(ctx.Jobs[i].Instance.Nodes())
+	}
+	// Pre-grow the node arena: once sliced, the per-job sub-slices must
+	// not be invalidated by a later append's reallocation.
+	if cap(s.nodeBuf) < totalNodes {
+		s.nodeBuf = make([]sched.NodePlan, 0, totalNodes)
+	}
+	s.nodeBuf = s.nodeBuf[:0]
+	if cap(plan.Jobs) < len(ctx.Jobs) {
+		plan.Jobs = make([]sched.JobPlan, 0, len(ctx.Jobs))
 	}
 
 	// Step 1 (§3.3.1): per job, optimal batch at full GPU and the GPU
 	// space required to meet the SLO.
-	required := make([]float64, len(ctx.Jobs))
+	s.required = resizeFloats(s.required, len(ctx.Jobs))
+	required := s.required
 	var totalRequired float64
 	for i := range ctx.Jobs {
 		jr := &ctx.Jobs[i]
@@ -169,13 +218,15 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 	}
 
 	// Step 2: split the session's GPU amount.
-	fractions := make([]float64, len(ctx.Jobs))
+	s.fractions = resizeFloats(s.fractions, len(ctx.Jobs))
+	fractions := s.fractions
 	active := 0
 	for i := range ctx.Jobs {
 		if ctx.Jobs[i].Requests > 0 {
 			active++
 		}
 	}
+	var totalAllocated float64
 	for i := range ctx.Jobs {
 		if ctx.Jobs[i].Requests <= 0 {
 			continue
@@ -193,6 +244,30 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 			f = s.opts.MinFraction
 		}
 		fractions[i] = f
+		totalAllocated += f
+	}
+	// Clamping can oversubscribe the session's GPU amount (a flooring
+	// raised some job without shrinking the others). Renormalize the
+	// headroom above the floors so Σ fractions ≤ GPUShare again; when
+	// even the floors alone oversubscribe, fall back to an equal split
+	// of the share (the floor is unsatisfiable this session).
+	if ctx.GPUShare > 0 && totalAllocated > ctx.GPUShare {
+		floorTotal := float64(active) * s.opts.MinFraction
+		if floorTotal >= ctx.GPUShare {
+			f := ctx.GPUShare / float64(active)
+			for i := range ctx.Jobs {
+				if ctx.Jobs[i].Requests > 0 {
+					fractions[i] = f
+				}
+			}
+		} else {
+			scale := (ctx.GPUShare - floorTotal) / (totalAllocated - floorTotal)
+			for i := range ctx.Jobs {
+				if ctx.Jobs[i].Requests > 0 {
+					fractions[i] = s.opts.MinFraction + (fractions[i]-s.opts.MinFraction)*scale
+				}
+			}
+		}
 	}
 
 	// Steps 3–5 (§3.3.2): per job, choose structures, re-adjust batch,
@@ -203,28 +278,31 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 			plan.Jobs = append(plan.Jobs, sched.JobPlan{App: jr.Instance.App.Name})
 			continue
 		}
-		jp, err := s.planJob(jr, fractions[i])
-		if err != nil {
+		plan.Jobs = append(plan.Jobs, sched.JobPlan{})
+		if err := s.planJob(jr, fractions[i], &plan.Jobs[len(plan.Jobs)-1]); err != nil {
 			return nil, err
 		}
-		plan.Jobs = append(plan.Jobs, *jp)
 	}
 	return plan, nil
 }
 
-// planJob performs the per-job §3.3.2 decisions at the allocated space.
-func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64) (*sched.JobPlan, error) {
+// planJob performs the per-job §3.3.2 decisions at the allocated space,
+// writing the result into jp. Node plans are sliced out of the
+// scheduler's pre-grown arena.
+func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64, jp *sched.JobPlan) error {
 	base, err := s.jobBaseFor(jr, fraction)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	jp := &sched.JobPlan{
+	*jp = sched.JobPlan{
 		App:       jr.Instance.App.Name,
 		Fraction:  fraction,
 		Batch:     base.batch,
 		InferTime: base.inferTotal,
 	}
-	nodePlans := make([]sched.NodePlan, len(base.structs))
+	start := len(s.nodeBuf)
+	s.nodeBuf = s.nodeBuf[:start+len(base.structs)]
+	nodePlans := s.nodeBuf[start : start+len(base.structs) : start+len(base.structs)]
 	for i, ni := range jr.Instance.Nodes() {
 		nodePlans[i] = sched.NodePlan{
 			Node:      ni.Node.Name,
@@ -243,7 +321,7 @@ func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64) (*sched.JobP
 	}
 	jp.RetrainTime = s.assignRetraining(jr, nodePlans, spare, fraction)
 	jp.Nodes = nodePlans
-	return jp, nil
+	return nil
 }
 
 // jobBaseFor computes (or recalls) the inference-side decisions of a
@@ -252,26 +330,29 @@ func (s *Scheduler) jobBaseFor(jr *sched.JobRequest, fraction float64) (*jobBase
 	key := baseKey{
 		app:       jr.Instance.App.Name,
 		requests:  jr.Requests,
-		fracMilli: int(fraction * 1000),
+		fracMilli: fracKey(fraction),
 	}
 	if base, ok := s.jobBaseCache[key]; ok {
 		return base, nil
 	}
-	structsByName, err := s.chooseStructures(jr, fraction)
+	idx := jr.Profile.Index()
+	base := &jobBase{
+		structs:    make([]dnn.Structure, len(idx)),
+		inferTimes: make([]simtime.Duration, len(idx)),
+	}
+	if err := s.chooseStructures(jr, fraction, base.structs); err != nil {
+		return nil, err
+	}
+	batch, _, err := sched.BestBatch(jr, base.structs, fraction)
 	if err != nil {
 		return nil, err
 	}
-	batch, _, err := sched.BestBatch(jr, structsByName, fraction)
-	if err != nil {
-		return nil, err
-	}
+	base.batch = batch
 	nBatches := (jr.Requests + batch - 1) / batch
-	base := &jobBase{batch: batch}
 	// Inference time: parallel DAG tasks are time-sliced in the job's
 	// space, so the job's inference time is the sum over tasks (§3.3.2).
-	for _, ni := range jr.Instance.Nodes() {
-		st := structsByName[ni.Node.Name]
-		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, st)
+	for i, np := range idx {
+		sp, err := np.ForStructure(base.structs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -280,8 +361,7 @@ func (s *Scheduler) jobBaseFor(jr *sched.JobRequest, fraction float64) (*jobBase
 			return nil, err
 		}
 		it := per * simtime.Duration(nBatches)
-		base.structs = append(base.structs, st)
-		base.inferTimes = append(base.inferTimes, it)
+		base.inferTimes[i] = it
 		base.inferTotal += it
 	}
 	s.jobBaseCache[key] = base
@@ -334,31 +414,29 @@ func (s *Scheduler) assignRetraining(jr *sched.JobRequest, nodePlans []sched.Nod
 	return assigned
 }
 
-// chooseStructures picks each node's structure: the full structure when
-// the node does not retrain this period (or under /E), otherwise the
-// fastest structure whose accuracy clears the node threshold A_m.
-func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64) (map[string]dnn.Structure, error) {
-	out := make(map[string]dnn.Structure, len(jr.Instance.Nodes()))
-	for _, ni := range jr.Instance.Nodes() {
+// chooseStructures picks each node's structure into out (positional,
+// node order): the full structure when the node does not retrain this
+// period (or under /E), otherwise the fastest structure whose accuracy
+// clears the node threshold A_m.
+func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64, out []dnn.Structure) error {
+	idx := jr.Profile.Index()
+	for i, ni := range jr.Instance.Nodes() {
 		full := ni.FullStructure()
 		needsExit := s.opts.PreferEarlyExit ||
 			(jr.Dag != nil && jr.Dag.NeedsRetrain(ni.Node.Name))
 		if s.opts.FullStructureOnly || !needsExit {
-			out[ni.Node.Name] = full
+			out[i] = full
 			continue
 		}
 		poolDist, err := ni.PoolDist()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		np := idx[i]
 		best := full
-		var bestPer simtime.Duration
-		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, full)
+		bestPer, err := np.Full.PerBatch(referenceBatch, fraction)
 		if err != nil {
-			return nil, err
-		}
-		if bestPer, err = sp.PerBatch(referenceBatch, fraction); err != nil {
-			return nil, err
+			return err
 		}
 		for _, st := range ni.Structures {
 			if st.IsFull() {
@@ -370,21 +448,21 @@ func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64) (ma
 			if ni.State.AccuracyWith(poolDist, st) < ni.Node.AccThreshold {
 				continue
 			}
-			sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, st)
+			sp, err := np.ForStructure(st)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			per, err := sp.PerBatch(referenceBatch, fraction)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if per < bestPer {
 				best, bestPer = st, per
 			}
 		}
-		out[ni.Node.Name] = best
+		out[i] = best
 	}
-	return out, nil
+	return nil
 }
 
 // referenceBatch is the batch size used to compare structure latencies

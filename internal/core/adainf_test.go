@@ -306,3 +306,107 @@ func TestSchedulingIsFast(t *testing.T) {
 		t.Fatalf("scheduling takes %v per session, budget 2ms", per)
 	}
 }
+
+func TestFracKeyRounds(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int
+	}{
+		{0.29, 290}, // int(0.29*1000) == 289: the truncation bug
+		{0.2999999, 300},
+		{0.3, 300},
+		{0.3004, 300},
+		{0.02, 20},
+		{1.0, 1000},
+	}
+	for _, c := range cases {
+		if got := fracKey(c.f); got != c.want {
+			t.Errorf("fracKey(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+	if fracKey(0.2999999) != fracKey(0.3) {
+		t.Error("near-identical fractions land on different cache keys")
+	}
+}
+
+func TestNoGPUOversubscription(t *testing.T) {
+	inst, prof := fixture(t)
+	cases := []struct {
+		jobs  int
+		share float64
+	}{
+		{6, 0.06}, // floors alone exceed the share: degenerate equal split
+		{8, 0.2},  // flooring several jobs up oversubscribes without renorm
+		{4, 0.1},
+		{2, 0.05},
+		{3, 1.5}, // plenty of space: renormalization must not kick in
+	}
+	for _, tc := range cases {
+		s := New(Options{})
+		ctx := &sched.SessionContext{GPUShare: tc.share}
+		for j := 0; j < tc.jobs; j++ {
+			ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
+				Instance: inst, Profile: prof, Requests: 4 + 4*j,
+			})
+		}
+		plan, err := s.PlanSession(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(ctx); err != nil {
+			t.Errorf("jobs=%d share=%g: %v", tc.jobs, tc.share, err)
+		}
+		var total float64
+		for i := range plan.Jobs {
+			total += plan.Jobs[i].Fraction
+			if plan.Jobs[i].Fraction <= 0 {
+				t.Errorf("jobs=%d share=%g: job %d got no space", tc.jobs, tc.share, i)
+			}
+		}
+		if total > tc.share+1e-9 {
+			t.Errorf("jobs=%d share=%g: fractions sum to %g", tc.jobs, tc.share, total)
+		}
+	}
+}
+
+func TestOversubscriptionPreservesFloors(t *testing.T) {
+	// A mixed heavy/light workload floors the light job up; the
+	// renormalization must shrink only the headroom above the floors.
+	inst, prof := fixture(t)
+	inst2, err := app.NewInstance(app.BikeRackOccupancy(), app.InstanceConfig{Seed: 9, PoolSamples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof2, err := profile.BuildAppProfile(app.BikeRackOccupancy(), profile.Config{
+		Strategy: gpu.Strategy{MaximizeUsage: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{})
+	ctx := &sched.SessionContext{
+		GPUShare: 0.1,
+		Jobs: []sched.JobRequest{
+			{Instance: inst, Profile: prof, Requests: 32},
+			{Instance: inst2, Profile: prof2, Requests: 1},
+		},
+	}
+	plan, err := s.PlanSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	total := plan.Jobs[0].Fraction + plan.Jobs[1].Fraction
+	if total > ctx.GPUShare+1e-9 {
+		t.Fatalf("fractions sum to %g, share %g", total, ctx.GPUShare)
+	}
+	if plan.Jobs[1].Fraction < s.opts.MinFraction-1e-12 {
+		t.Fatalf("light job pushed below the floor: %g", plan.Jobs[1].Fraction)
+	}
+	if plan.Jobs[0].Fraction <= plan.Jobs[1].Fraction {
+		t.Fatalf("heavy job %g should keep more space than light job %g",
+			plan.Jobs[0].Fraction, plan.Jobs[1].Fraction)
+	}
+}

@@ -21,9 +21,16 @@ func (s *Scheduler) OnPeriodStart(ctx *sched.PeriodContext) (*sched.PeriodPlan, 
 		s.dags = make(map[string]*sched.RIDag)
 	}
 	// Drift, pools, and impact degrees change at period boundaries:
-	// drop the per-period plan memoization.
-	s.reqFracCache = make(map[reqKey]float64)
-	s.jobBaseCache = make(map[baseKey]*jobBase)
+	// drop the per-period plan memoization. The maps are cleared in
+	// place, not remade — they regrow to the same size every period.
+	if s.reqFracCache == nil {
+		s.reqFracCache = make(map[reqKey]float64)
+	}
+	if s.jobBaseCache == nil {
+		s.jobBaseCache = make(map[baseKey]*jobBase)
+	}
+	clear(s.reqFracCache)
+	clear(s.jobBaseCache)
 	for i := range ctx.Jobs {
 		jr := &ctx.Jobs[i]
 		name := jr.Instance.App.Name

@@ -12,7 +12,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,7 +28,9 @@ import (
 // Options tunes experiment scale. The zero value reproduces the default
 // setup: 10 periods (500 s), 8 applications, 4 GPUs, 250 req/s per app.
 type Options struct {
-	// Seed drives all randomness.
+	// Seed drives all randomness. Each simulation arm derives its own
+	// seed from this and the arm's configuration (see runner.go), so
+	// sweep points are statistically independent yet reproducible.
 	Seed int64
 	// Horizon is the serving duration; zero defaults to 500 s.
 	Horizon simtime.Duration
@@ -39,11 +40,42 @@ type Options struct {
 	Pool int
 	// Quick shrinks runs for benchmarks (3 periods, lower rate).
 	Quick bool
+	// Workers bounds the experiment engine's worker pool: 0 uses one
+	// worker per available CPU, 1 forces sequential execution. Output
+	// is identical for every value (see runner.go).
+	Workers int
+	// Progress, when non-nil, receives one event per completed
+	// simulation arm. Called from worker goroutines; must be
+	// concurrency-safe.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed simulation arm.
+type ProgressEvent struct {
+	// Artifact is the artifact being regenerated (e.g. "fig18").
+	Artifact string
+	// Arm names the completed arm (method, app count, GPU count).
+	Arm string
+	// Done and Total count unique simulation arms of the artifact.
+	Done, Total int
 }
 
 func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	// Quick defaults apply only to knobs the caller left at zero, so a
+	// test can run a quick sweep at an even shorter horizon.
+	if o.Quick {
+		if o.Horizon == 0 {
+			o.Horizon = 150 * time.Second
+		}
+		if o.Rate == 0 {
+			o.Rate = 150
+		}
+		if o.Pool == 0 {
+			o.Pool = 2000
+		}
 	}
 	if o.Horizon == 0 {
 		o.Horizon = 500 * time.Second
@@ -53,11 +85,6 @@ func (o *Options) fill() {
 	}
 	if o.Pool == 0 {
 		o.Pool = 8000
-	}
-	if o.Quick {
-		o.Horizon = 150 * time.Second
-		o.Rate = 150
-		o.Pool = 2000
 	}
 }
 
@@ -171,25 +198,25 @@ func m2Memory() memoryConfig {
 }
 
 // profileCache shares built profiles across experiments: the offline
-// profiling of §3.3 happens once per memory configuration.
-var profileCache sync.Map // key string -> map[string]*profile.AppProfile
+// profiling of §3.3 happens once per memory configuration. Entries are
+// single-flight so concurrent arms needing the same profiles build them
+// exactly once and share the (read-only) result.
+var profileCache sync.Map // key string -> *profileEntry
+
+type profileEntry struct {
+	once sync.Once
+	p    map[string]*profile.AppProfile
+	err  error
+}
 
 func profilesFor(apps []*app.App, mem memoryConfig) (map[string]*profile.AppProfile, error) {
-	names := make([]string, len(apps))
-	for i, a := range apps {
-		names[i] = a.Name
-	}
-	sort.Strings(names)
-	key := mem.name + "|" + strings.Join(names, ",")
-	if v, ok := profileCache.Load(key); ok {
-		return v.(map[string]*profile.AppProfile), nil
-	}
-	p, err := serving.BuildProfiles(apps, mem.strategy, mem.policy)
-	if err != nil {
-		return nil, err
-	}
-	profileCache.Store(key, p)
-	return p, nil
+	key := mem.name + "|" + appSetKey(apps)
+	v, _ := profileCache.LoadOrStore(key, &profileEntry{})
+	e := v.(*profileEntry)
+	e.once.Do(func() {
+		e.p, e.err = serving.BuildProfiles(apps, mem.strategy, mem.policy)
+	})
+	return e.p, e.err
 }
 
 // run executes one serving simulation with the standard knobs.

@@ -81,20 +81,16 @@ func secondsX(n int) []float64 {
 // video-surveillance application with and without retraining, and (b)
 // the fraction of requests served by an updated model under Ekya.
 func Fig4(o Options) (*Result, error) {
-	o.fill()
 	apps := []*app.App{app.VideoSurveillance()}
-	withR, err := adaInf().run(o, apps, 1)
+	rs, err := runArms(o, "fig4", []arm{
+		{m: adaInf(), apps: apps, gpus: 1},
+		{m: noRetrain(), apps: apps, gpus: 1},
+		{m: ekya(), apps: apps, gpus: 1},
+	})
 	if err != nil {
 		return nil, err
 	}
-	withoutR, err := noRetrain().run(o, apps, 1)
-	if err != nil {
-		return nil, err
-	}
-	ek, err := ekya().run(o, apps, 1)
-	if err != nil {
-		return nil, err
-	}
+	withR, withoutR, ek := rs[0], rs[1], rs[2]
 	res := &Result{
 		ID:    "fig4",
 		Title: "Impact of data drift on the application",
@@ -122,9 +118,8 @@ func Fig4(o Options) (*Result, error) {
 // the per-period retraining time and sample fraction of Early-inc and
 // Ekya (7b).
 func Fig7(o Options) (*Result, error) {
-	o.fill()
 	apps := []*app.App{app.VideoSurveillance()}
-	arms := []method{
+	methods := []method{
 		adaInf(),
 		{
 			label:   "Full-inc",
@@ -138,13 +133,18 @@ func Fig7(o Options) (*Result, error) {
 		},
 		ekya(),
 	}
+	arms := make([]arm, len(methods))
+	for i, m := range methods {
+		arms[i] = arm{m: m, apps: apps, gpus: 1}
+	}
+	rs, err := runArms(o, "fig7", arms)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ID: "fig7", Title: "Early-exit structure with incremental retraining"}
 	var early, ek *serving.Result
-	for _, m := range arms {
-		r, err := m.run(o, apps, 1)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range methods {
+		r := rs[i]
 		label := m.label
 		if label == "AdaInf" {
 			label = "Early-inc"
@@ -193,70 +193,77 @@ func Fig19(o Options) (*Result, error) {
 	})
 }
 
+// comparisonSweep fans the §5.1 comparison out as one flat arm list:
+// per method, the default time series (a), the app-count sweep (b), and
+// the GPU-count sweep (c). The default configuration (8 apps, 4 GPUs)
+// appears in all three panels; the engine runs it once per method.
 func comparisonSweep(o Options, id, title string,
 	series func(*serving.Result) []float64, mean func(*serving.Result) float64) (*Result, error) {
 
 	o.fill()
 	res := &Result{ID: id, Title: title}
-	// (a) time series with the default 8 apps / 4 GPUs.
 	defaultApps := app.Catalog()
-	for _, m := range comparisonMethods() {
-		r, err := m.run(o, defaultApps, 4)
-		if err != nil {
-			return nil, err
-		}
-		ys := series(r)
-		res.Series = append(res.Series, Series{
-			Label: fmt.Sprintf("(a) %s over time", m.label),
-			X:     secondsX(len(ys)), Y: ys,
-		})
-	}
-	// (b) number of applications.
 	appCounts := []int{2, 4, 6, 8, 10}
 	if o.Quick {
 		appCounts = []int{2, 8}
 	}
-	tableB := Table{
-		Title:  "(b) mean vs number of applications",
-		Header: append([]string{"method"}, intHeaders(appCounts)...),
-	}
-	for _, m := range comparisonMethods() {
-		row := []string{m.label}
-		for _, n := range appCounts {
-			apps, err := app.CatalogN(n)
-			if err != nil {
-				return nil, err
-			}
-			r, err := m.run(o, apps, 4)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", mean(r)))
-		}
-		tableB.Rows = append(tableB.Rows, row)
-	}
-	res.Tables = append(res.Tables, tableB)
-	// (c) number of GPUs.
 	gpuCounts := []float64{1, 4, 8, 16}
 	if o.Quick {
 		gpuCounts = []float64{1, 4}
+	}
+	appSets := make([][]*app.App, len(appCounts))
+	for i, n := range appCounts {
+		apps, err := app.CatalogN(n)
+		if err != nil {
+			return nil, err
+		}
+		appSets[i] = apps
+	}
+
+	methods := comparisonMethods()
+	var arms []arm
+	for _, m := range methods {
+		arms = append(arms, arm{m: m, apps: defaultApps, gpus: 4}) // (a)
+		for _, apps := range appSets {
+			arms = append(arms, arm{m: m, apps: apps, gpus: 4}) // (b)
+		}
+		for _, g := range gpuCounts {
+			arms = append(arms, arm{m: m, apps: defaultApps, gpus: g}) // (c)
+		}
+	}
+	rs, err := runArms(o, id, arms)
+	if err != nil {
+		return nil, err
+	}
+
+	perMethod := 1 + len(appCounts) + len(gpuCounts)
+	tableB := Table{
+		Title:  "(b) mean vs number of applications",
+		Header: append([]string{"method"}, intHeaders(appCounts)...),
 	}
 	tableC := Table{
 		Title:  "(c) mean vs number of GPUs",
 		Header: append([]string{"method"}, floatHeaders(gpuCounts)...),
 	}
-	for _, m := range comparisonMethods() {
-		row := []string{m.label}
-		for _, g := range gpuCounts {
-			r, err := m.run(o, defaultApps, g)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", mean(r)))
+	for mi, m := range methods {
+		base := mi * perMethod
+		ys := series(rs[base])
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("(a) %s over time", m.label),
+			X:     secondsX(len(ys)), Y: ys,
+		})
+		rowB := []string{m.label}
+		for i := range appCounts {
+			rowB = append(rowB, fmt.Sprintf("%.3f", mean(rs[base+1+i])))
 		}
-		tableC.Rows = append(tableC.Rows, row)
+		tableB.Rows = append(tableB.Rows, rowB)
+		rowC := []string{m.label}
+		for i := range gpuCounts {
+			rowC = append(rowC, fmt.Sprintf("%.3f", mean(rs[base+1+len(appCounts)+i])))
+		}
+		tableC.Rows = append(tableC.Rows, rowC)
 	}
-	res.Tables = append(res.Tables, tableC)
+	res.Tables = append(res.Tables, tableB, tableC)
 	return res, nil
 }
 
@@ -276,21 +283,32 @@ func floatHeaders(xs []float64) []string {
 	return out
 }
 
+// comparisonArms builds one default-setup arm per §5.1 method.
+func comparisonArms() ([]method, []arm) {
+	methods := comparisonMethods()
+	apps := app.Catalog()
+	arms := make([]arm, len(methods))
+	for i, m := range methods {
+		arms[i] = arm{m: m, apps: apps, gpus: 4}
+	}
+	return methods, arms
+}
+
 // Fig20 reproduces Fig. 20: average retraining and inference latency
 // per job for each method.
 func Fig20(o Options) (*Result, error) {
-	o.fill()
+	methods, arms := comparisonArms()
+	rs, err := runArms(o, "fig20", arms)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ID: "fig20", Title: "Average latency for retraining and inference"}
 	tb := Table{Header: []string{"method", "inference (ms)", "retraining (ms)"}}
-	for _, m := range comparisonMethods() {
-		r, err := m.run(o, app.Catalog(), 4)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range methods {
 		tb.Rows = append(tb.Rows, []string{
 			m.label,
-			fmt.Sprintf("%.1f", r.MeanInferLatencyMs),
-			fmt.Sprintf("%.1f", r.MeanRetrainLatencyMs),
+			fmt.Sprintf("%.1f", rs[i].MeanInferLatencyMs),
+			fmt.Sprintf("%.1f", rs[i].MeanRetrainLatencyMs),
 		})
 	}
 	res.Tables = append(res.Tables, tb)
@@ -301,19 +319,19 @@ func Fig20(o Options) (*Result, error) {
 
 // Fig21 reproduces Fig. 21: GPU utilization per second per method.
 func Fig21(o Options) (*Result, error) {
-	o.fill()
+	methods, arms := comparisonArms()
+	rs, err := runArms(o, "fig21", arms)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ID: "fig21", Title: "GPU utilization"}
-	for _, m := range comparisonMethods() {
-		r, err := m.run(o, app.Catalog(), 4)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range methods {
 		res.Series = append(res.Series, Series{
 			Label: m.label,
-			X:     secondsX(len(r.UtilizationPerSec)), Y: r.UtilizationPerSec,
+			X:     secondsX(len(rs[i].UtilizationPerSec)), Y: rs[i].UtilizationPerSec,
 		})
 		res.Notes = append(res.Notes,
-			fmt.Sprintf("%s mean utilization %.0f%%", m.label, mathx.MeanOf(r.UtilizationPerSec)*100))
+			fmt.Sprintf("%s mean utilization %.0f%%", m.label, mathx.MeanOf(rs[i].UtilizationPerSec)*100))
 	}
 	return res, nil
 }
@@ -321,7 +339,6 @@ func Fig21(o Options) (*Result, error) {
 // Fig22 reproduces Fig. 22: accuracy and finish rate of AdaInf and its
 // ablation variants /I /U /S /E /M1 /M2 (§5.2).
 func Fig22(o Options) (*Result, error) {
-	o.fill()
 	variants := []method{
 		adaInf(),
 		{label: "AdaInf/I", build: func() sched.Method {
@@ -343,17 +360,22 @@ func Fig22(o Options) (*Result, error) {
 			return core.New(core.Options{Label: "AdaInf/M2"})
 		}, retrain: true, divergent: true, mem: m2Memory()},
 	}
+	apps := app.Catalog()
+	arms := make([]arm, len(variants))
+	for i, m := range variants {
+		arms[i] = arm{m: m, apps: apps, gpus: 4}
+	}
+	rs, err := runArms(o, "fig22", arms)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ID: "fig22", Title: "Performance of different variants of AdaInf"}
 	tb := Table{Header: []string{"variant", "accuracy", "finish rate"}}
-	for _, m := range variants {
-		r, err := m.run(o, app.Catalog(), 4)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range variants {
 		tb.Rows = append(tb.Rows, []string{
 			m.label,
-			fmt.Sprintf("%.3f", r.MeanAccuracy),
-			fmt.Sprintf("%.3f", r.MeanFinishRate),
+			fmt.Sprintf("%.3f", rs[i].MeanAccuracy),
+			fmt.Sprintf("%.3f", rs[i].MeanFinishRate),
 		})
 	}
 	res.Tables = append(res.Tables, tb)
@@ -364,23 +386,28 @@ func Fig22(o Options) (*Result, error) {
 // values of the eviction-score weight α (§3.4.2).
 func Fig23(o Options) (*Result, error) {
 	o.fill()
-	res := &Result{ID: "fig23", Title: "Influence of α"}
-	tb := Table{Header: []string{"alpha", "accuracy", "finish rate"}}
 	alphas := []float64{0.2, 0.4, 0.6, 0.8}
 	if o.Quick {
 		alphas = []float64{0.2, 0.4}
 	}
-	for _, a := range alphas {
+	apps := app.Catalog()
+	arms := make([]arm, len(alphas))
+	for i, a := range alphas {
 		m := adaInf()
 		m.mem = adaMemory(a)
-		r, err := m.run(o, app.Catalog(), 4)
-		if err != nil {
-			return nil, err
-		}
+		arms[i] = arm{m: m, apps: apps, gpus: 4}
+	}
+	rs, err := runArms(o, "fig23", arms)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig23", Title: "Influence of α"}
+	tb := Table{Header: []string{"alpha", "accuracy", "finish rate"}}
+	for i, a := range alphas {
 		tb.Rows = append(tb.Rows, []string{
 			fmt.Sprintf("%.1f", a),
-			fmt.Sprintf("%.3f", r.MeanAccuracy),
-			fmt.Sprintf("%.3f", r.MeanFinishRate),
+			fmt.Sprintf("%.3f", rs[i].MeanAccuracy),
+			fmt.Sprintf("%.3f", rs[i].MeanFinishRate),
 		})
 	}
 	res.Tables = append(res.Tables, tb)
@@ -392,24 +419,27 @@ func Fig23(o Options) (*Result, error) {
 // A_m of its vehicle-type model sweeps through [80%, 95%].
 func Fig24(o Options) (*Result, error) {
 	o.fill()
-	res := &Result{ID: "fig24", Title: "Influence of A_m"}
-	tb := Table{Header: []string{"A_m", "accuracy", "finish rate"}}
 	thresholds := []float64{0.80, 0.85, 0.90, 0.95}
 	if o.Quick {
 		thresholds = []float64{0.80, 0.95}
 	}
-	for _, am := range thresholds {
+	arms := make([]arm, len(thresholds))
+	for i, am := range thresholds {
 		vs := app.VideoSurveillance()
 		vs.Node("vehicle-type").AccThreshold = am
-		m := adaInf()
-		r, err := m.run(o, []*app.App{vs}, 1)
-		if err != nil {
-			return nil, err
-		}
+		arms[i] = arm{m: adaInf(), apps: []*app.App{vs}, gpus: 1}
+	}
+	rs, err := runArms(o, "fig24", arms)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "fig24", Title: "Influence of A_m"}
+	tb := Table{Header: []string{"A_m", "accuracy", "finish rate"}}
+	for i, am := range thresholds {
 		tb.Rows = append(tb.Rows, []string{
 			fmt.Sprintf("%.0f%%", am*100),
-			fmt.Sprintf("%.3f", r.MeanAccuracy),
-			fmt.Sprintf("%.3f", r.MeanFinishRate),
+			fmt.Sprintf("%.3f", rs[i].MeanAccuracy),
+			fmt.Sprintf("%.3f", rs[i].MeanFinishRate),
 		})
 	}
 	res.Tables = append(res.Tables, tb)
@@ -419,16 +449,18 @@ func Fig24(o Options) (*Result, error) {
 // Table1 reproduces Table 1: the time overheads of each method.
 func Table1(o Options) (*Result, error) {
 	o.fill()
+	methods, arms := comparisonArms()
+	rs, err := runArms(o, "table1", arms)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ID: "table1", Title: "Time overheads of methods"}
 	tb := Table{Header: []string{
 		"method", "periodic DAG update", "scheduling", "edge-cloud comm",
 		"edge-cloud data", "mem-comm minimization",
 	}}
-	for _, m := range comparisonMethods() {
-		r, err := m.run(o, app.Catalog(), 4)
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range methods {
+		r := rs[i]
 		dagUpdate, memMin := "0", "0"
 		if m.label == "AdaInf" {
 			dagUpdate = fmt.Sprintf("%.1fs", r.PeriodOverhead.Seconds())

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"adainf/internal/app"
@@ -27,53 +28,71 @@ func vsInstance(o Options) (*app.Instance, error) {
 // Fig5 reproduces Fig. 5: per-model accuracy of the video-surveillance
 // application across periods, with and without retraining. The
 // retraining arm emulates AdaInf's drift-aware incremental retraining
-// at the model level (full pool for impacted models).
+// at the model level (full pool for impacted models). The two arms use
+// independent instances, so they run as two engine jobs.
 func Fig5(o Options) (*Result, error) {
 	o.fill()
 	periods := int(o.Horizon / (50 * time.Second))
-	withR, err := vsInstance(o)
-	if err != nil {
-		return nil, err
-	}
-	withoutR, err := vsInstance(o)
-	if err != nil {
-		return nil, err
-	}
-	rng := dist.NewRNG(o.Seed + 99)
 	nodes := []string{"object-detection", "vehicle-type", "person-activity"}
-	series := make(map[string][]float64)
-	for p := 0; p < periods; p++ {
-		// Drift detection and incremental retraining run at the start
-		// of the period, before its requests are served (§3.2).
-		reports, err := drift.DetectApp(withR, drift.Config{}, rng)
+	withRetraining := func() (map[string][]float64, error) {
+		inst, err := vsInstance(o)
 		if err != nil {
 			return nil, err
 		}
-		for _, name := range nodes {
-			niR := withR.ByName[name]
-			if rep := reports[name]; rep.Impacted {
-				pd, err := niR.PoolDist()
-				if err != nil {
-					return nil, err
-				}
-				niR.State.Train(pd, float64(len(niR.Pool.Samples))*dnn.DivergentSelectionBoost)
-				niR.NoteTrained()
+		rng := dist.NewRNG(o.Seed + 99)
+		series := make(map[string][]float64, len(nodes))
+		for p := 0; p < periods; p++ {
+			// Drift detection and incremental retraining run at the start
+			// of the period, before its requests are served (§3.2).
+			reports, err := drift.DetectApp(inst, drift.Config{}, rng)
+			if err != nil {
+				return nil, err
 			}
+			for _, name := range nodes {
+				ni := inst.ByName[name]
+				if rep := reports[name]; rep.Impacted {
+					pd, err := ni.PoolDist()
+					if err != nil {
+						return nil, err
+					}
+					ni.State.Train(pd, float64(len(ni.Pool.Samples))*dnn.DivergentSelectionBoost)
+					ni.NoteTrained()
+				}
+			}
+			for _, name := range nodes {
+				ni := inst.ByName[name]
+				series[name] = append(series[name], ni.State.Accuracy(ni.LiveDist()))
+			}
+			inst.AdvancePeriod(0)
 		}
-		for _, name := range nodes {
-			niR := withR.ByName[name]
-			niW := withoutR.ByName[name]
-			series[name+" w/"] = append(series[name+" w/"], niR.State.Accuracy(niR.LiveDist()))
-			series[name+" w/o"] = append(series[name+" w/o"], niW.State.Accuracy(niW.LiveDist()))
+		return series, nil
+	}
+	withoutRetraining := func() (map[string][]float64, error) {
+		inst, err := vsInstance(o)
+		if err != nil {
+			return nil, err
 		}
-		withR.AdvancePeriod(0)
-		withoutR.AdvancePeriod(0)
+		series := make(map[string][]float64, len(nodes))
+		for p := 0; p < periods; p++ {
+			for _, name := range nodes {
+				ni := inst.ByName[name]
+				series[name] = append(series[name], ni.State.Accuracy(ni.LiveDist()))
+			}
+			inst.AdvancePeriod(0)
+		}
+		return series, nil
+	}
+	arms, err := collect(o.Workers, []func() (map[string][]float64, error){
+		withRetraining, withoutRetraining,
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{ID: "fig5", Title: "Impact of data drift on each model of the application"}
 	for _, name := range nodes {
 		res.Series = append(res.Series,
-			Series{Label: name + " w/ retraining", X: periodsX(periods), Y: series[name+" w/"]},
-			Series{Label: name + " w/o retraining", X: periodsX(periods), Y: series[name+" w/o"]},
+			Series{Label: name + " w/ retraining", X: periodsX(periods), Y: arms[0][name]},
+			Series{Label: name + " w/o retraining", X: periodsX(periods), Y: arms[1][name]},
 		)
 	}
 	res.Notes = append(res.Notes,
@@ -295,8 +314,11 @@ func Fig11(Options) (*Result, error) {
 // retraining followed by the three inference tasks, then the next job)
 // on one simulated partition, so reuse-time samples accumulate. Jobs
 // arrive as discrete events: each job's completion schedules the next
-// arrival 60 ms later on the event engine.
-func memTrace() (*gpumem.Manager, error) {
+// arrival 60 ms later on the event engine. The trace is deterministic
+// and read-only once built, so Fig. 12 and Fig. 13 share one run.
+var memTrace = sync.OnceValues(buildMemTrace)
+
+func buildMemTrace() (*gpumem.Manager, error) {
 	part := gpu.NewPartition(gpu.V100(), 1.0, gpu.PartitionConfig{
 		MemShare: profile.DefaultMemShare,
 		Policy:   gpumem.PriorityPolicy{Alpha: 0.4},

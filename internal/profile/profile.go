@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"adainf/internal/app"
 	"adainf/internal/dnn"
@@ -214,6 +215,58 @@ type AppProfile struct {
 	// observed during profiling, used to seed the priority eviction
 	// policy (§3.4.2).
 	TypeReuse map[gpumem.ReuseClass]float64
+
+	indexOnce sync.Once
+	index     []*NodeProfiles
+}
+
+// NodeProfiles is the positional per-node view of an AppProfile used on
+// scheduler hot paths: the node's structure and retraining profiles,
+// addressable without a string-keyed map lookup.
+type NodeProfiles struct {
+	// Node is the application DAG node name.
+	Node string
+	// Structures are the node's profiles, shallowest exit first, full
+	// structure last.
+	Structures []*StructureProfile
+	// Full is the full structure's profile (last of Structures).
+	Full *StructureProfile
+	// Retrain is the node's retraining profile.
+	Retrain *RetrainProfile
+}
+
+// ForStructure returns the profile of the structure by exit depth.
+func (np *NodeProfiles) ForStructure(st dnn.Structure) (*StructureProfile, error) {
+	exit := st.ExitAfter()
+	for _, sp := range np.Structures {
+		if sp.Structure.ExitAfter() == exit {
+			return sp, nil
+		}
+	}
+	return nil, fmt.Errorf("profile: node %q has no profile for %v", np.Node, st)
+}
+
+// Index returns the per-node profiles in App.Nodes order (the order of
+// Instance.Nodes). It is built once and read-only afterwards, so it is
+// safe to share across goroutines.
+func (ap *AppProfile) Index() []*NodeProfiles {
+	ap.indexOnce.Do(func() {
+		ap.index = make([]*NodeProfiles, len(ap.App.Nodes))
+		for i := range ap.App.Nodes {
+			name := ap.App.Nodes[i].Name
+			sps := ap.Structures[name]
+			np := &NodeProfiles{
+				Node:       name,
+				Structures: sps,
+				Retrain:    ap.Retrain[name],
+			}
+			if len(sps) > 0 {
+				np.Full = sps[len(sps)-1]
+			}
+			ap.index[i] = np
+		}
+	})
+	return ap.index
 }
 
 // StructureProfileFor returns the profile of a node's structure by exit

@@ -22,23 +22,25 @@ func PadRequests(predicted int) int {
 	return predicted + int(math.Ceil(2*math.Sqrt(float64(predicted))))
 }
 
-// FullStructures maps every node of the job to its full structure.
-func FullStructures(jr *JobRequest) map[string]dnn.Structure {
-	out := make(map[string]dnn.Structure, len(jr.Instance.Nodes()))
-	for _, ni := range jr.Instance.Nodes() {
-		out[ni.Node.Name] = ni.FullStructure()
+// FullStructures returns every node's full structure, positionally
+// aligned with Instance.Nodes() (= App.Nodes = Profile.Index() order).
+func FullStructures(jr *JobRequest) []dnn.Structure {
+	nodes := jr.Instance.Nodes()
+	out := make([]dnn.Structure, len(nodes))
+	for i, ni := range nodes {
+		out[i] = ni.FullStructure()
 	}
 	return out
 }
 
 // JobWorstCase sums the worst-case inference latency over the job's
-// tasks for the structures, batch size, and GPU fraction — the DAG's
-// tasks time-share the job's space, so the job's latency is the sum
-// (§3.3.2).
-func JobWorstCase(jr *JobRequest, structs map[string]dnn.Structure, batch int, fraction float64) (simtime.Duration, error) {
+// tasks for the structures (positional, node order), batch size, and
+// GPU fraction — the DAG's tasks time-share the job's space, so the
+// job's latency is the sum (§3.3.2).
+func JobWorstCase(jr *JobRequest, structs []dnn.Structure, batch int, fraction float64) (simtime.Duration, error) {
 	var total simtime.Duration
-	for _, ni := range jr.Instance.Nodes() {
-		sp, err := jr.Profile.StructureProfileFor(ni.Node.Name, structs[ni.Node.Name])
+	for i, np := range jr.Profile.Index() {
+		sp, err := np.ForStructure(structs[i])
 		if err != nil {
 			return 0, err
 		}
@@ -53,10 +55,10 @@ func JobWorstCase(jr *JobRequest, structs map[string]dnn.Structure, batch int, f
 
 // BestBatch returns the profiled batch size minimizing the job's
 // worst-case latency at the fraction (Observations 5–6).
-func BestBatch(jr *JobRequest, structs map[string]dnn.Structure, fraction float64) (int, simtime.Duration, error) {
+func BestBatch(jr *JobRequest, structs []dnn.Structure, fraction float64) (int, simtime.Duration, error) {
 	batches := profile.DefaultBatchSizes
-	if sps := jr.Profile.Structures[jr.Instance.Nodes()[0].Node.Name]; len(sps) > 0 {
-		batches = sps[0].Batches()
+	if idx := jr.Profile.Index(); len(idx) > 0 && len(idx[0].Structures) > 0 {
+		batches = idx[0].Structures[0].Batches()
 	}
 	var (
 		bestBatch int
@@ -81,7 +83,7 @@ func BestBatch(jr *JobRequest, structs map[string]dnn.Structure, fraction float6
 // latency meets its SLO, by bisection over the fitted scaling laws
 // (the §3.3.1 "non-linear regression model" inversion). minFraction
 // floors the answer.
-func RequiredFraction(jr *JobRequest, structs map[string]dnn.Structure, batch int, minFraction float64) (float64, error) {
+func RequiredFraction(jr *JobRequest, structs []dnn.Structure, batch int, minFraction float64) (float64, error) {
 	slo := simtime.Duration(jr.Instance.App.SLO)
 	atFull, err := JobWorstCase(jr, structs, batch, 1.0)
 	if err != nil {

@@ -164,7 +164,11 @@ type SessionPlan struct {
 type Scheduler interface {
 	// Name identifies the scheduler in reports (e.g. "AdaInf", "Ekya").
 	Name() string
-	// PlanSession produces the session's job plans.
+	// PlanSession produces the session's job plans. The returned plan
+	// (and the slices it references) is only valid until the scheduler's
+	// next PlanSession or OnPeriodStart call: schedulers may reuse plan
+	// storage across sessions to keep the 5 ms hot path allocation-free.
+	// Callers that need a plan beyond the session must copy it.
 	PlanSession(ctx *SessionContext) (*SessionPlan, error)
 }
 

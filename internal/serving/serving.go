@@ -161,6 +161,13 @@ type appState struct {
 	// whole sample; the remainder carries to the app's next job.
 	carry  map[string]float64
 	leaves []string
+	// fallbackNodes is the precomputed full-structure plan used when the
+	// scheduler did not plan for the app. It must be its own storage:
+	// scheduler plans alias reusable arenas that a fallback job must not
+	// scribble over.
+	fallbackNodes []sched.NodePlan
+	// probs is runJob's per-class scratch buffer.
+	probs []float64
 }
 
 // pendingRetrain is a scheduled whole-pool retraining awaiting its
@@ -239,15 +246,24 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		states[i] = &appState{
+		st := &appState{
 			inst:      inst,
 			prof:      prof,
 			gen:       trace.NewGenerator(curve, cfg.Seed+int64(i)*17+1),
 			pred:      pred,
-			updatedAt: make(map[string]simtime.Instant),
-			updated:   make(map[string]bool),
+			liveDists: make(map[string]*dist.Categorical, len(a.Nodes)),
+			poolDists: make(map[string]*dist.Categorical, len(a.Nodes)),
+			updatedAt: make(map[string]simtime.Instant, len(a.Nodes)),
+			updated:   make(map[string]bool, len(a.Nodes)),
+			carry:     make(map[string]float64, len(a.Nodes)),
 			leaves:    a.Leaves(),
 		}
+		for _, ni := range inst.Nodes() {
+			st.fallbackNodes = append(st.fallbackNodes, sched.NodePlan{
+				Node: ni.Node.Name, Structure: ni.FullStructure(),
+			})
+		}
+		states[i] = st
 	}
 
 	rec := metrics.NewRecorder(cfg.Horizon, cfg.Clock.Period, cfg.GPUs)
@@ -258,6 +274,15 @@ func Run(cfg Config) (*Result, error) {
 	ewmaTa := 50 * time.Millisecond
 	nSessions := int(cfg.Horizon / cfg.Clock.Session)
 	sessionsPerPeriod := cfg.Clock.SessionsPerPeriod()
+
+	// Per-session buffers, hoisted out of the 5 ms loop: the arrival
+	// counts and the session context (whose Jobs slice is rebuilt in
+	// place each session).
+	actual := make([]int, len(states))
+	predicted := make([]int, len(states))
+	ctx := &sched.SessionContext{
+		Jobs: make([]sched.JobRequest, 0, len(states)),
+	}
 
 	for sess := 0; sess < nSessions; sess++ {
 		start := cfg.Clock.SessionStart(sess)
@@ -283,11 +308,14 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			for _, st := range states {
-				st.liveDists = make(map[string]*dist.Categorical)
-				st.poolDists = make(map[string]*dist.Categorical)
-				st.updatedAt = make(map[string]simtime.Instant)
-				st.updated = make(map[string]bool)
-				st.carry = make(map[string]float64)
+				// Clear-and-reuse: these maps hold one entry per node and
+				// are rebuilt every period; remaking them churned the heap
+				// for nothing.
+				clear(st.liveDists)
+				clear(st.poolDists)
+				clear(st.updatedAt)
+				clear(st.updated)
+				clear(st.carry)
 				for _, ni := range st.inst.Nodes() {
 					st.liveDists[ni.Node.Name] = ni.LiveDist()
 					pd, err := ni.PoolDist()
@@ -358,8 +386,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// ---- Arrivals and prediction ----
-		actual := make([]int, len(states))
-		predicted := make([]int, len(states))
 		anyWork := false
 		for i, st := range states {
 			actual[i] = st.gen.CountInWindow(start, end)
@@ -391,11 +417,10 @@ func Run(cfg Config) (*Result, error) {
 		if share < 0.02 {
 			share = 0.02
 		}
-		ctx := &sched.SessionContext{
-			Session:  sess,
-			Start:    start,
-			GPUShare: share,
-		}
+		ctx.Session = sess
+		ctx.Start = start
+		ctx.GPUShare = share
+		ctx.Jobs = ctx.Jobs[:0]
 		for i, st := range states {
 			ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
 				Instance: st.inst,
@@ -481,13 +506,12 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 	}
 	if fraction <= 0 || batch <= 0 || len(nodes) == 0 {
 		// The scheduler did not plan for this app (predicted zero
-		// requests): serve with a minimal fallback allocation.
+		// requests): serve with a minimal fallback allocation. The
+		// precomputed full-structure plan is used as-is — appending into
+		// jp.Nodes would scribble over the scheduler's plan arena.
 		fraction = 0.02
 		batch = fallbackBatch(actual)
-		nodes = nodes[:0]
-		for _, ni := range st.inst.Nodes() {
-			nodes = append(nodes, sched.NodePlan{Node: ni.Node.Name, Structure: ni.FullStructure()})
-		}
+		nodes = st.fallbackNodes
 	}
 
 	t := start.Add(lead)
@@ -558,10 +582,6 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 
 	// Score every request: one SLO outcome per request and one
 	// prediction per leaf model.
-	structOf := make(map[string]dnn.Structure, len(nodes))
-	for _, np := range nodes {
-		structOf[np.Node] = np.Structure
-	}
 	for r := 0; r < actual; r++ {
 		rec.RecordRequest(start, met)
 		res.Requests++
@@ -569,11 +589,17 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 	for _, leaf := range st.leaves {
 		ni := st.inst.ByName[leaf]
 		live := st.liveDists[leaf]
-		stct, ok := structOf[leaf]
-		if !ok {
-			stct = ni.FullStructure()
+		stct := ni.FullStructure()
+		for i := range nodes {
+			if nodes[i].Node == leaf {
+				stct = nodes[i].Structure
+				break
+			}
 		}
-		probs := make([]float64, live.K())
+		if cap(st.probs) < live.K() {
+			st.probs = make([]float64, live.K())
+		}
+		probs := st.probs[:live.K()]
 		for c := range probs {
 			probs[c] = ni.State.CorrectProb(c, live, stct)
 		}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the repository's performance benchmarks (quick Fig. 18/19/22),
+# writes results/BENCH_<date>.json, and prints a comparison against the
+# committed results/BENCH_baseline.json. Extra arguments are forwarded
+# to cmd/bench (e.g. -workers 1 for a sequential run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"

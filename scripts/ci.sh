@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local CI entry point; .github/workflows/ci.yml runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+# The race detector covers the concurrent pieces: the experiment
+# worker pool, the shared profile cache, and the serving loop that
+# consumes scheduler plans. -short skips the multi-minute determinism
+# sweeps; the full suite above already runs them race-free.
+echo "== go test -race (experiments, serving, core) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/core/...
+
+echo "CI OK"
