@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"adainf/internal/experiments"
@@ -62,18 +63,42 @@ func main() {
 		outDir   = flag.String("out", "results", "directory for BENCH_<date>.json")
 		baseline = flag.String("baseline", filepath.Join("results", "BENCH_baseline.json"),
 			"baseline file to compare against (skipped if missing)")
+		note       = flag.String("note", "", "free-form note recorded in the output file")
+		tag        = flag.String("tag", "", "suffix for the output file name: BENCH_<date>-<tag>.json")
+		profDir    = flag.String("profile-cache", "", "directory for cached offline profiles (empty = rebuild every run)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering all artifacts to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the last artifact to this file")
+		failAbove  = flag.Float64("fail-above", 0,
+			"exit non-zero if any artifact's wall-clock regresses more than this fraction vs the baseline (0 disables, e.g. 0.2 = +20%)")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	out := benchFile{
 		Date:       time.Now().Format("2006-01-02"),
+		Note:       *note,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Seed:       *seed,
 	}
 	for _, a := range artifacts {
-		r, err := measure(a.fn, experiments.Options{Quick: true, Seed: *seed, Workers: *workers})
+		r, err := measure(a.fn, experiments.Options{
+			Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n", a.name, err)
 			os.Exit(1)
@@ -84,7 +109,25 @@ func main() {
 			a.name, time.Duration(r.WallNS).Round(time.Millisecond), r.AllocsPerOp, r.BytesPerOp)
 	}
 
-	path := filepath.Join(*outDir, "BENCH_"+out.Date+".json")
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	name := "BENCH_" + out.Date
+	if *tag != "" {
+		name += "-" + *tag
+	}
+	path := filepath.Join(*outDir, name+".json")
 	if err := writeJSON(path, out); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
@@ -101,6 +144,34 @@ func main() {
 		return
 	}
 	compare(base, out)
+	if *failAbove > 0 {
+		if worst, name := worstRegression(base, out); worst > *failAbove {
+			fmt.Fprintf(os.Stderr, "bench: %s regressed %.1f%% vs baseline (limit %.1f%%)\n",
+				name, worst*100, *failAbove*100)
+			os.Exit(1)
+		}
+	}
+}
+
+// worstRegression returns the largest fractional wall-clock slowdown of
+// any artifact vs the baseline (negative when everything got faster).
+func worstRegression(base, cur benchFile) (float64, string) {
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	worst, worstName := -1.0, ""
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok || b.WallNS == 0 {
+			continue
+		}
+		reg := float64(c.WallNS-b.WallNS) / float64(b.WallNS)
+		if reg > worst {
+			worst, worstName = reg, c.Name
+		}
+	}
+	return worst, worstName
 }
 
 // measure runs one artifact and reports its wall-clock time and heap
@@ -156,19 +227,20 @@ func compare(base, cur benchFile) {
 		byName[b.Name] = b
 	}
 	fmt.Printf("\nvs baseline (%s%s):\n", base.Date, noteSuffix(base.Note))
-	fmt.Printf("%-8s %10s %10s %9s %12s %12s %8s\n",
-		"bench", "base", "now", "speedup", "base allocs", "now allocs", "ratio")
+	fmt.Printf("%-8s %10s %10s %9s %8s %12s %12s %8s\n",
+		"bench", "base", "now", "speedup", "wall Δ%", "base allocs", "now allocs", "ratio")
 	for _, c := range cur.Benchmarks {
 		b, ok := byName[c.Name]
 		if !ok {
 			fmt.Printf("%-8s (no baseline entry)\n", c.Name)
 			continue
 		}
-		fmt.Printf("%-8s %10v %10v %8.2fx %12d %12d %7.2fx\n",
+		fmt.Printf("%-8s %10v %10v %8.2fx %+7.1f%% %12d %12d %7.2fx\n",
 			c.Name,
 			time.Duration(b.WallNS).Round(10*time.Millisecond),
 			time.Duration(c.WallNS).Round(10*time.Millisecond),
 			float64(b.WallNS)/float64(c.WallNS),
+			100*float64(c.WallNS-b.WallNS)/float64(b.WallNS),
 			b.AllocsPerOp, c.AllocsPerOp,
 			float64(b.AllocsPerOp)/float64(c.AllocsPerOp))
 	}

@@ -52,6 +52,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		parallel = flag.Int("parallel", 0, "simulation arms run concurrently (0 = one per CPU, 1 = sequential; output is identical either way)")
 		progress = flag.Bool("progress", false, "report each completed simulation arm to stderr")
+		profDir  = flag.String("profile-cache", "results/profiles",
+			"directory for cached offline profiles (empty = rebuild every run; delete the directory to clear)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -65,7 +67,7 @@ func main() {
 	}
 	opts := experiments.Options{
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
-		Workers: *parallel,
+		Workers: *parallel, ProfileCache: *profDir,
 	}
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {

@@ -155,6 +155,12 @@ func (s *Scheduler) Name() string {
 	return "AdaInf"
 }
 
+// SteadyStatePlanning implements sched.SteadyStatePlanner: PlanSession
+// depends only on the GPU share, the jobs' request counts, and the
+// per-period caches filled in OnPeriodStart — never on the session
+// index or start instant.
+func (s *Scheduler) SteadyStatePlanning() {}
+
 // PlanSession implements sched.Scheduler. The returned plan aliases the
 // scheduler's reusable storage and is valid until the next PlanSession
 // call (see sched.Scheduler).

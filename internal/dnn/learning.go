@@ -39,6 +39,11 @@ type State struct {
 	knowledge   *dist.Categorical
 	kappa       float64
 	sensitivity float64
+	// version counts effective Train applications. Two states with the
+	// same construction history and equal versions hold identical
+	// knowledge, which lets callers fingerprint a state without hashing
+	// the full distribution.
+	version uint64
 }
 
 // NewState creates a model state whose parameters were just trained on
@@ -146,7 +151,11 @@ func (s *State) Train(target *dist.Categorical, effectiveSamples float64) {
 		return
 	}
 	s.knowledge = s.knowledge.Blend(target, s.LearningFraction(effectiveSamples))
+	s.version++
 }
+
+// Version returns the number of effective Train applications so far.
+func (s *State) Version() uint64 { return s.version }
 
 // Clone returns an independent copy of the state (a model "version").
 func (s *State) Clone() *State {
@@ -155,6 +164,7 @@ func (s *State) Clone() *State {
 		knowledge:   s.knowledge.Clone(),
 		kappa:       s.kappa,
 		sensitivity: s.sensitivity,
+		version:     s.version,
 	}
 }
 

@@ -48,6 +48,9 @@ type Options struct {
 	// simulation arm. Called from worker goroutines; must be
 	// concurrency-safe.
 	Progress func(ProgressEvent)
+	// ProfileCache is a directory holding cached offline profiles
+	// (profile.BuildAppProfileCached). Empty profiles from scratch.
+	ProfileCache string
 }
 
 // ProgressEvent reports one completed simulation arm.
@@ -209,12 +212,12 @@ type profileEntry struct {
 	err  error
 }
 
-func profilesFor(apps []*app.App, mem memoryConfig) (map[string]*profile.AppProfile, error) {
+func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string) (map[string]*profile.AppProfile, error) {
 	key := mem.name + "|" + appSetKey(apps)
 	v, _ := profileCache.LoadOrStore(key, &profileEntry{})
 	e := v.(*profileEntry)
 	e.once.Do(func() {
-		e.p, e.err = serving.BuildProfiles(apps, mem.strategy, mem.policy)
+		e.p, e.err = serving.BuildProfilesCached(apps, mem.strategy, mem.policy, cacheDir)
 	})
 	return e.p, e.err
 }
@@ -223,7 +226,7 @@ func profilesFor(apps []*app.App, mem memoryConfig) (map[string]*profile.AppProf
 func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 	retrain, divergent bool, mem memoryConfig) (*serving.Result, error) {
 
-	profs, err := profilesFor(apps, mem)
+	profs, err := profilesFor(apps, mem, o.ProfileCache)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package gpumem
 
 import (
 	"fmt"
-	"sort"
+	"hash/fnv"
+	"math"
+	"slices"
 	"time"
 
 	"adainf/internal/mathx"
@@ -92,11 +94,41 @@ type Manager struct {
 	stats   Stats
 	seq     uint64
 
+	// residents lists exactly the entries with loc == locGPU, so
+	// makeRoom scans eviction candidates without walking the whole
+	// entries map. Order is arbitrary (swap-removal); determinism comes
+	// from the candidate sort, which is a strict total order via seq.
+	residents []*entry
+	// stampGen marks the current Acquire call; entries whose stamp
+	// matches are in the working set and exempt from eviction.
+	stampGen uint64
+	// scratch is makeRoom's reusable candidate buffer.
+	scratch []scoredEntry
+
 	reuse map[ReuseClass][]float64
 	cross map[CrossKind][]float64
 	// Running per-type reuse means feed the priority policy's R_c.
 	typeSum map[ReuseClass]float64
 	typeN   map[ReuseClass]int
+}
+
+type scoredEntry struct {
+	e     *entry
+	score float64
+}
+
+func (m *Manager) residentAdd(e *entry) {
+	e.resIdx = len(m.residents)
+	m.residents = append(m.residents, e)
+}
+
+func (m *Manager) residentRemove(e *entry) {
+	last := len(m.residents) - 1
+	m.residents[e.resIdx] = m.residents[last]
+	m.residents[e.resIdx].resIdx = e.resIdx
+	m.residents[last] = nil
+	m.residents = m.residents[:last]
+	e.resIdx = -1
 }
 
 // NewManager returns a manager over the config. It panics on a
@@ -180,25 +212,29 @@ func (m *Manager) CrossCDF(kind CrossKind) *mathx.CDF {
 // latency back up at large batch sizes (Fig. 8). It returns the total
 // communication time of the call.
 func (m *Manager) Acquire(now simtime.Instant, accs []Access) (simtime.Duration, error) {
-	inSet := make(map[ContentID]bool, len(accs))
+	// Stamp the working set instead of building a per-call lookup map.
+	// Entries created mid-call are stamped at creation (acquireOne).
+	m.stampGen++
 	for _, a := range accs {
 		if a.Content.Bytes <= 0 {
 			return 0, fmt.Errorf("gpumem: content %v has size %d", a.Content.ID, a.Content.Bytes)
 		}
-		inSet[a.Content.ID] = true
+		if e, ok := m.entries[a.Content.ID]; ok {
+			e.stamp = m.stampGen
+		}
 	}
 	var comm simtime.Duration
 	for _, a := range accs {
-		comm += m.acquireOne(now, a, inSet)
+		comm += m.acquireOne(now, a)
 	}
 	return comm, nil
 }
 
-func (m *Manager) acquireOne(now simtime.Instant, a Access, inSet map[ContentID]bool) simtime.Duration {
+func (m *Manager) acquireOne(now simtime.Instant, a Access) simtime.Duration {
 	id := a.Content.ID
 	e, ok := m.entries[id]
 	if !ok {
-		e = &entry{content: a.Content, loc: locPageable, seq: m.seq}
+		e = &entry{content: a.Content, loc: locPageable, seq: m.seq, resIdx: -1, stamp: m.stampGen}
 		m.seq++
 		m.entries[id] = e
 	} else if e.content.Bytes != a.Content.Bytes {
@@ -208,6 +244,7 @@ func (m *Manager) acquireOne(now simtime.Instant, a Access, inSet map[ContentID]
 		switch e.loc {
 		case locGPU:
 			m.gpuUsed -= e.content.Bytes
+			m.residentRemove(e)
 		case locPinned:
 			m.pinUsed -= e.content.Bytes
 		}
@@ -222,7 +259,7 @@ func (m *Manager) acquireOne(now simtime.Instant, a Access, inSet map[ContentID]
 	default:
 		m.stats.Misses++
 		// Make room first.
-		d, fits := m.makeRoom(now, a.Content.Bytes, inSet)
+		d, fits := m.makeRoom(now, a.Content.Bytes)
 		comm += d
 		if !fits {
 			// Out-of-core: stream the content through GPU memory for
@@ -265,6 +302,7 @@ func (m *Manager) acquireOne(now simtime.Instant, a Access, inSet map[ContentID]
 		}
 		e.loc = locGPU
 		m.gpuUsed += a.Content.Bytes
+		m.residentAdd(e)
 	}
 	e.everLoaded = true
 
@@ -316,46 +354,62 @@ func (m *Manager) recordReuse(now simtime.Instant, e *entry, a Access) {
 // second return value is false when even evicting every candidate
 // cannot make the bytes fit (nothing is evicted in that case — the
 // caller streams instead).
-func (m *Manager) makeRoom(now simtime.Instant, bytes int64, inSet map[ContentID]bool) (simtime.Duration, bool) {
+func (m *Manager) makeRoom(now simtime.Instant, bytes int64) (simtime.Duration, bool) {
 	if m.gpuUsed+bytes <= m.cfg.GPUBytes {
 		return 0, true
 	}
-	type scored struct {
-		e     *entry
-		score float64
-	}
-	var candidates []scored
-	for _, e := range m.entries {
-		if e.loc != locGPU || inSet[e.content.ID] {
+	// Per-type reuse means are constant within one makeRoom call (no
+	// reuse observation lands mid-eviction); resolve each of the four
+	// classes at most once instead of per candidate.
+	var (
+		reuseMs   [2][2]float64
+		reuseSeen [2][2]bool
+	)
+	candidates := m.scratch[:0]
+	for _, e := range m.residents {
+		if e.stamp == m.stampGen {
 			continue
 		}
-		r := m.TypeReuseMeanMs(ReuseClass{Kind: e.content.ID.Kind, Phase: e.lastPhase})
-		candidates = append(candidates, scored{e: e, score: m.cfg.Policy.Score(e, now, r)})
+		k, p := e.content.ID.Kind, e.lastPhase
+		if !reuseSeen[k][p] {
+			reuseMs[k][p] = m.TypeReuseMeanMs(ReuseClass{Kind: k, Phase: p})
+			reuseSeen[k][p] = true
+		}
+		candidates = append(candidates, scoredEntry{e: e, score: m.cfg.Policy.Score(e, now, reuseMs[k][p])})
 	}
 	// Highest score evicted first; seq breaks ties deterministically.
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].score != candidates[j].score {
-			return candidates[i].score > candidates[j].score
+	// (score desc, seq asc) is a strict total order — seq is unique —
+	// so the sorted order is independent of the candidate order above.
+	slices.SortFunc(candidates, func(a, b scoredEntry) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		case a.e.seq < b.e.seq:
+			return -1
+		default:
+			return 1
 		}
-		return candidates[i].e.seq < candidates[j].e.seq
 	})
-	var victims []*entry
+	m.scratch = candidates // keep the grown buffer for the next call
+	nVictims := 0
 	freed := int64(0)
 	for _, c := range candidates {
 		if m.gpuUsed-freed+bytes <= m.cfg.GPUBytes {
 			break
 		}
-		victims = append(victims, c.e)
+		nVictims++
 		freed += c.e.content.Bytes
 	}
 	if m.gpuUsed-freed+bytes > m.cfg.GPUBytes {
 		return 0, false
 	}
 	// Lower-scoring victims (reused sooner / tighter SLO) go to PIN.
-	// victims is sorted by descending score, so walk it backwards.
+	// Victims are sorted by descending score, so walk them backwards.
 	var comm simtime.Duration
-	for i := len(victims) - 1; i >= 0; i-- {
-		v := victims[i]
+	for i := nVictims - 1; i >= 0; i-- {
+		v := candidates[i].e
 		t := bytesTime(v.content.Bytes, m.cfg.D2HBps)
 		comm += t
 		m.stats.D2HTime += t
@@ -369,6 +423,7 @@ func (m *Manager) makeRoom(now simtime.Instant, bytes int64, inSet map[ContentID
 			v.loc = locPageable
 		}
 		m.gpuUsed -= v.content.Bytes
+		m.residentRemove(v)
 	}
 	return comm, true
 }
@@ -384,6 +439,7 @@ func (m *Manager) Release(id ContentID) bool {
 	switch e.loc {
 	case locGPU:
 		m.gpuUsed -= e.content.Bytes
+		m.residentRemove(e)
 	case locPinned:
 		m.pinUsed -= e.content.Bytes
 	}
@@ -408,4 +464,79 @@ func (m *Manager) ReleaseMatching(pred func(ContentID) bool) int {
 
 func bytesTime(bytes int64, bps float64) simtime.Duration {
 	return simtime.Duration(float64(bytes) / bps * float64(time.Second))
+}
+
+// StateDigest returns a deterministic FNV-1a digest of the manager's
+// observable state: occupancy, transfer statistics, per-entry placement
+// and access history, and the reuse-time accumulators that drive the
+// priority policy. Two managers that produce the same digest behave
+// identically on any future access sequence, which is what lets cached
+// session outcomes and cached profiles stand in for re-execution.
+func (m *Manager) StateDigest() uint64 {
+	h := fnv.New64a()
+	hashU64 := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	hashF64 := func(v float64) { hashU64(math.Float64bits(v)) }
+	hashStr := func(s string) {
+		hashU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	hashU64(uint64(m.cfg.GPUBytes))
+	hashU64(uint64(m.cfg.PinBytes))
+	hashU64(uint64(m.gpuUsed))
+	hashU64(uint64(m.pinUsed))
+	hashU64(uint64(m.stats.H2DBytes))
+	hashU64(uint64(m.stats.D2HBytes))
+	hashU64(uint64(m.stats.H2DTime))
+	hashU64(uint64(m.stats.D2HTime))
+	hashU64(m.stats.Hits)
+	hashU64(m.stats.Misses)
+	hashU64(m.stats.Evictions)
+	hashU64(uint64(m.stats.StreamedBytes))
+	hashU64(uint64(m.stats.StreamedTime))
+
+	// Entries in creation order (seq is unique and deterministic), so
+	// the digest does not depend on map iteration order.
+	ordered := make([]*entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		ordered = append(ordered, e)
+	}
+	slices.SortFunc(ordered, func(a, b *entry) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	for _, e := range ordered {
+		hashU64(e.seq)
+		hashStr(e.content.ID.App)
+		hashStr(e.content.ID.Model)
+		hashU64(uint64(e.content.ID.Layer))
+		hashU64(uint64(e.content.ID.Kind))
+		hashU64(e.content.ID.Seq)
+		hashU64(uint64(e.loc))
+		hashU64(uint64(e.content.Bytes))
+		hashF64(e.content.SLOms)
+		hashU64(uint64(e.lastAccess))
+		hashU64(uint64(e.lastPhase))
+		hashU64(e.lastJob)
+		hashStr(e.lastModel)
+	}
+
+	// Reuse accumulators by fixed class enumeration.
+	for _, k := range []Kind{KindParam, KindIntermediate} {
+		for _, p := range []Phase{PhaseInference, PhaseRetraining} {
+			c := ReuseClass{Kind: k, Phase: p}
+			hashF64(m.typeSum[c])
+			hashU64(uint64(m.typeN[c]))
+			hashU64(uint64(len(m.reuse[c])))
+		}
+	}
+	return h.Sum64()
 }

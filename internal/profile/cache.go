@@ -1,0 +1,243 @@
+// Profile disk cache: offline profiling is by far the most expensive
+// part of a quick experiment run (it executes every structure of every
+// model on the simulated GPU across the full batch × fraction grid),
+// yet its output depends only on the profiler configuration and the
+// application's models — not on the experiment seed or workload. The
+// cache stores each built AppProfile content-addressed under a key
+// covering everything that can change the measurements, so repeated
+// cmd/repro, cmd/bench, and CI invocations skip BuildAppProfile
+// entirely. Clearing the cache is always safe: delete the directory.
+package profile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"adainf/internal/app"
+	"adainf/internal/dnn"
+	"adainf/internal/gpumem"
+	"adainf/internal/mathx"
+	"adainf/internal/simtime"
+)
+
+// CacheVersion invalidates every cached profile when the profiler's
+// measurement semantics change. Bump it whenever BuildAppProfile's
+// output for an unchanged config can differ from a previous release.
+const CacheVersion = 1
+
+// CacheKey returns the canonical, human-readable identity of the
+// profile BuildAppProfile(a, cfg) would produce. Two (app, config)
+// pairs with equal keys build byte-identical profiles: the key covers
+// the GPU spec, the measurement grids, the execution strategy, the
+// eviction policy (including its parameters), the PIN/retraining
+// configuration, the app's SLO, and every node's name and full
+// architecture. It deliberately excludes the app name and accuracy
+// thresholds, which do not influence profiling.
+func CacheKey(a *app.App, cfg Config) string {
+	cfg.fillDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "adainf-profile-cache v%d\n", CacheVersion)
+	fmt.Fprintf(&b, "gpu: %+v\n", cfg.Spec)
+	fmt.Fprintf(&b, "batches: %v\n", cfg.BatchSizes)
+	fmt.Fprintf(&b, "fractions: %v\n", cfg.Fractions)
+	fmt.Fprintf(&b, "memshare: %v\n", cfg.MemShare)
+	fmt.Fprintf(&b, "strategy: %+v\n", cfg.Strategy)
+	pol := cfg.policy()
+	fmt.Fprintf(&b, "policy: %s %+v\n", pol.Name(), pol)
+	fmt.Fprintf(&b, "pin: %d\n", cfg.PinBytes)
+	fmt.Fprintf(&b, "retrain: batch=%d samples=%d\n", cfg.RetrainBatch, cfg.RetrainSamples)
+	fmt.Fprintf(&b, "slo: %v\n", a.SLO)
+	for i := range a.Nodes {
+		node := &a.Nodes[i]
+		fmt.Fprintf(&b, "node %s model %s", node.Name, node.Model)
+		if arch, ok := dnn.ByName(node.Model); ok {
+			fmt.Fprintf(&b, " arch %+v", *arch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cachePath maps a key to its file under dir: an FNV-64a content
+// address, so distinct configurations never collide on a filename (and
+// the full key is verified after decode anyway).
+func cachePath(dir, key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(dir, fmt.Sprintf("profile-%016x.gob", h.Sum64()))
+}
+
+// The on-disk representation shadows AppProfile with only exported,
+// gob-encodable state. dnn.Structure carries unexported fields, so
+// structures are stored by exit depth and reconstructed through
+// dnn.EarlyExitStructures on load; the measured values themselves
+// (durations, power laws) round-trip exactly — gob encodes float64 by
+// bit pattern, so a loaded profile is bit-identical to the built one.
+type cachedProfile struct {
+	Key       string
+	MemDigest uint64
+	Nodes     []cachedNode
+	TypeReuse map[gpumem.ReuseClass]float64
+}
+
+type cachedNode struct {
+	Name       string
+	Structures []cachedStructure
+	Retrain    cachedRetrain
+}
+
+type cachedStructure struct {
+	ExitAfter int
+	Points    map[int]map[float64]Point
+	Scaling   map[int]mathx.PowerLaw
+}
+
+type cachedRetrain struct {
+	PerSample map[float64]simtime.Duration
+	Scaling   mathx.PowerLaw
+}
+
+// StoreCached writes the profile to dir under its cache key,
+// creating dir as needed. The write is atomic (temp file + rename), so
+// concurrent processes never observe a torn cache entry.
+func StoreCached(dir string, a *app.App, cfg Config, ap *AppProfile) error {
+	key := CacheKey(a, cfg)
+	c := cachedProfile{
+		Key:       key,
+		MemDigest: ap.MemDigest,
+		TypeReuse: ap.TypeReuse,
+	}
+	for i := range a.Nodes {
+		name := a.Nodes[i].Name
+		cn := cachedNode{Name: name}
+		for _, sp := range ap.Structures[name] {
+			cn.Structures = append(cn.Structures, cachedStructure{
+				ExitAfter: sp.Structure.ExitAfter(),
+				Points:    sp.Points,
+				Scaling:   sp.Scaling,
+			})
+		}
+		rp := ap.Retrain[name]
+		if rp == nil {
+			return fmt.Errorf("profile: cache store: node %q has no retraining profile", name)
+		}
+		cn.Retrain = cachedRetrain{PerSample: rp.PerSample, Scaling: rp.Scaling}
+		c.Nodes = append(c.Nodes, cn)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&c); err != nil {
+		return fmt.Errorf("profile: cache encode: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := cachePath(dir, key)
+	tmp, err := os.CreateTemp(dir, ".profile-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCached returns the cached profile for (a, cfg) from dir, or
+// (nil, false) when no valid entry exists. Any corruption, key
+// mismatch, or model/structure drift is treated as a miss — the caller
+// rebuilds and overwrites.
+func LoadCached(dir string, a *app.App, cfg Config) (*AppProfile, bool) {
+	key := CacheKey(a, cfg)
+	buf, err := os.ReadFile(cachePath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	var c cachedProfile
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&c); err != nil {
+		return nil, false
+	}
+	if c.Key != key || len(c.Nodes) != len(a.Nodes) {
+		return nil, false
+	}
+
+	ap := &AppProfile{
+		App:        a,
+		Structures: make(map[string][]*StructureProfile, len(a.Nodes)),
+		Retrain:    make(map[string]*RetrainProfile, len(a.Nodes)),
+		TypeReuse:  c.TypeReuse,
+		MemDigest:  c.MemDigest,
+	}
+	if ap.TypeReuse == nil {
+		ap.TypeReuse = make(map[gpumem.ReuseClass]float64)
+	}
+	for i := range a.Nodes {
+		node := &a.Nodes[i]
+		cn := &c.Nodes[i]
+		if cn.Name != node.Name {
+			return nil, false
+		}
+		arch, ok := dnn.ByName(node.Model)
+		if !ok {
+			return nil, false
+		}
+		structures := dnn.EarlyExitStructures(arch, 3)
+		if len(structures) != len(cn.Structures) {
+			return nil, false
+		}
+		for j, cs := range cn.Structures {
+			st := structures[j]
+			if st.ExitAfter() != cs.ExitAfter {
+				return nil, false
+			}
+			sp := &StructureProfile{
+				Structure: st,
+				Points:    cs.Points,
+				Scaling:   cs.Scaling,
+			}
+			for batch := range cs.Scaling {
+				sp.batches = append(sp.batches, batch)
+			}
+			sort.Ints(sp.batches)
+			ap.Structures[node.Name] = append(ap.Structures[node.Name], sp)
+		}
+		ap.Retrain[node.Name] = &RetrainProfile{
+			Arch:      arch,
+			PerSample: cn.Retrain.PerSample,
+			Scaling:   cn.Retrain.Scaling,
+		}
+	}
+	return ap, true
+}
+
+// BuildAppProfileCached is BuildAppProfile behind the disk cache in
+// dir: a valid cache entry is returned directly; otherwise the profile
+// is built and stored. An empty dir disables caching. Store failures
+// (e.g. a read-only results directory in CI) are non-fatal: the built
+// profile is returned and the next run simply rebuilds.
+func BuildAppProfileCached(a *app.App, cfg Config, dir string) (*AppProfile, error) {
+	if dir == "" {
+		return BuildAppProfile(a, cfg)
+	}
+	if ap, ok := LoadCached(dir, a, cfg); ok {
+		return ap, nil
+	}
+	ap, err := BuildAppProfile(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	_ = StoreCached(dir, a, cfg, ap)
+	return ap, nil
+}

@@ -215,6 +215,13 @@ type AppProfile struct {
 	// observed during profiling, used to seed the priority eviction
 	// policy (§3.4.2).
 	TypeReuse map[gpumem.ReuseClass]float64
+	// MemDigest fingerprints the final state of every GPU memory
+	// manager the profiler ran (gpumem.Manager.StateDigest, mixed in
+	// partition order). It changes whenever the memory strategy or
+	// eviction policy changes profiling behaviour, so downstream
+	// memoization keyed on it cannot conflate profiles built under
+	// different memory systems.
+	MemDigest uint64
 
 	indexOnce sync.Once
 	index     []*NodeProfiles
@@ -304,13 +311,13 @@ func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
 			return nil, fmt.Errorf("profile: unknown model %q", node.Model)
 		}
 		for _, st := range dnn.EarlyExitStructures(arch, 3) {
-			sp, err := profileStructure(a, node, st, cfg, reuseSum, reuseN)
+			sp, err := profileStructure(a, node, st, cfg, reuseSum, reuseN, &ap.MemDigest)
 			if err != nil {
 				return nil, err
 			}
 			ap.Structures[node.Name] = append(ap.Structures[node.Name], sp)
 		}
-		rp, err := profileRetraining(a, node, arch, cfg, reuseSum, reuseN)
+		rp, err := profileRetraining(a, node, arch, cfg, reuseSum, reuseN, &ap.MemDigest)
 		if err != nil {
 			return nil, err
 		}
@@ -323,7 +330,8 @@ func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
 }
 
 func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
-	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int) (*StructureProfile, error) {
+	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int,
+	digest *uint64) (*StructureProfile, error) {
 
 	sp := &StructureProfile{
 		Structure: st,
@@ -361,7 +369,7 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 			sp.Points[batch][f] = Point{Batch: batch, Fraction: f, PerBatch: res.Total(), Comm: res.Comm}
 			fr = append(fr, f)
 			lat = append(lat, math.Max(float64(res.Total()), 1))
-			harvestReuse(part.Mem(), reuseSum, reuseN)
+			harvestReuse(part.Mem(), reuseSum, reuseN, digest)
 		}
 		law, err := mathx.FitPowerLaw(fr, lat)
 		if err != nil {
@@ -373,7 +381,8 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 }
 
 func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
-	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int) (*RetrainProfile, error) {
+	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int,
+	digest *uint64) (*RetrainProfile, error) {
 
 	rp := &RetrainProfile{Arch: arch, PerSample: make(map[float64]simtime.Duration, len(cfg.Fractions))}
 	var fr, lat []float64
@@ -395,7 +404,7 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 		rp.PerSample[f] = per
 		fr = append(fr, f)
 		lat = append(lat, math.Max(float64(per), 1))
-		harvestReuse(part.Mem(), reuseSum, reuseN)
+		harvestReuse(part.Mem(), reuseSum, reuseN, digest)
 	}
 	law, err := mathx.FitPowerLaw(fr, lat)
 	if err != nil {
@@ -405,7 +414,9 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 	return rp, nil
 }
 
-func harvestReuse(m *gpumem.Manager, sum map[gpumem.ReuseClass]float64, n map[gpumem.ReuseClass]int) {
+func harvestReuse(m *gpumem.Manager, sum map[gpumem.ReuseClass]float64, n map[gpumem.ReuseClass]int,
+	digest *uint64) {
+
 	for _, kind := range []gpumem.Kind{gpumem.KindParam, gpumem.KindIntermediate} {
 		for _, phase := range []gpumem.Phase{gpumem.PhaseInference, gpumem.PhaseRetraining} {
 			class := gpumem.ReuseClass{Kind: kind, Phase: phase}
@@ -415,6 +426,9 @@ func harvestReuse(m *gpumem.Manager, sum map[gpumem.ReuseClass]float64, n map[gp
 			}
 		}
 	}
+	// Fold the partition's final memory state into the app profile's
+	// fingerprint (FNV-style mix keeps partition order significant).
+	*digest = *digest*1099511628211 ^ m.StateDigest()
 }
 
 // WorstCase returns the worst-case inference latency of running

@@ -71,3 +71,17 @@ type Method interface {
 	// period that is starting.
 	OnPeriodStart(ctx *PeriodContext) (*PeriodPlan, error)
 }
+
+// SteadyStatePlanner marks a Method whose PlanSession output is a pure
+// function of the session's planning inputs: the GPU share, the jobs'
+// request counts, and the referenced instance/profile state. It must not
+// depend on the session index, the session start instant, or any hidden
+// state that evolves across calls (internal memoization is fine as long
+// as a hit returns exactly what the miss would have computed). The
+// serving loop uses the marker to gate steady-state fast-forward:
+// sessions whose inputs repeat replay the previously executed outcome
+// without calling PlanSession at all.
+type SteadyStatePlanner interface {
+	// SteadyStatePlanning is a no-op marker method.
+	SteadyStatePlanning()
+}

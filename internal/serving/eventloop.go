@@ -1,0 +1,467 @@
+package serving
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"adainf/internal/eventsim"
+	"adainf/internal/metrics"
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+)
+
+// runLoop drives one serving simulation on the discrete-event engine.
+// Instead of visiting every 5 ms session, it schedules exactly three
+// kinds of events: period boundaries, whole-pool retraining
+// completions, and request-bearing ("work") sessions. Empty sessions —
+// the overwhelming majority at realistic request rates — are never
+// visited; their only observable effect in the session loop was
+// advancing the per-app arrival generators and predictors, which the
+// period-boundary handler precomputes in one pass.
+//
+// Event ordering reproduces the session loop bit for bit:
+//
+//   - A retraining completion applies at the first session whose start
+//     is not before the completion instant, in period-plan order among
+//     completions landing in the same session (see retrainHeap). The
+//     completion event is scheduled at that session's start and, being
+//     scheduled earlier, fires before the work event at the same
+//     instant (the engine is FIFO within an instant).
+//   - Retrains whose apply session falls beyond their period's last
+//     session are discarded at the next boundary, exactly as the
+//     session loop's cleared pending list never applied them.
+//   - The shared RNG is drawn only at period starts (drift detection)
+//     and inside work sessions (request scoring), so skipping empty
+//     sessions leaves the stream untouched.
+type runLoop struct {
+	cfg    *Config
+	states []*appState
+	byName map[string]*appState
+	rec    *metrics.Recorder
+	res    *Result
+	rng    *rand.Rand
+
+	eng               *eventsim.Engine
+	nSessions         int
+	sessionsPerPeriod int
+
+	ewmaTa time.Duration
+	ctx    *sched.SessionContext
+
+	// Period-scoped state, rebuilt by each periodStart.
+	periodFirst int
+	periodLast  int
+	retrains    []pendingRetrain // the period plan's retrains, plan order
+	heap        retrainHeap
+	// actual/predicted hold the whole period's arrivals per app
+	// ([app][session-in-period]); work marks sessions with any work.
+	actual    [][]int
+	predicted [][]int
+	work      []bool
+	drainAt   []int // scratch: sessions with pending retrain applications
+
+	ff *fastForward
+
+	// err stashes the first failure: engine handlers cannot return
+	// errors, so every handler no-ops once it is set.
+	err error
+}
+
+func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Result, rng *rand.Rand) *runLoop {
+	l := &runLoop{
+		cfg:               cfg,
+		states:            states,
+		byName:            make(map[string]*appState, len(states)),
+		rec:               rec,
+		res:               res,
+		rng:               rng,
+		eng:               eventsim.New(),
+		nSessions:         int(cfg.Horizon / cfg.Clock.Session),
+		sessionsPerPeriod: cfg.Clock.SessionsPerPeriod(),
+		ewmaTa:            50 * time.Millisecond,
+		ctx: &sched.SessionContext{
+			Jobs: make([]sched.JobRequest, 0, len(states)),
+		},
+	}
+	for _, st := range states {
+		l.byName[st.inst.App.Name] = st
+	}
+	l.actual = make([][]int, len(states))
+	l.predicted = make([][]int, len(states))
+	for i := range states {
+		l.actual[i] = make([]int, l.sessionsPerPeriod)
+		l.predicted[i] = make([]int, l.sessionsPerPeriod)
+	}
+	l.work = make([]bool, l.sessionsPerPeriod)
+	if _, ok := cfg.Method.(sched.SteadyStatePlanner); ok {
+		l.ff = newFastForward()
+	}
+	return l
+}
+
+func (l *runLoop) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+func (l *runLoop) run() error {
+	nPeriods := (l.nSessions + l.sessionsPerPeriod - 1) / l.sessionsPerPeriod
+	for p := 0; p < nPeriods; p++ {
+		p := p
+		l.eng.Schedule(l.cfg.Clock.PeriodStart(p), "period",
+			func(simtime.Instant) { l.periodStart(p) })
+	}
+	l.eng.RunUntil(l.cfg.Clock.SessionStart(l.nSessions))
+	if l.ff != nil {
+		l.res.FastForwardHits = l.ff.hits
+	}
+	return l.err
+}
+
+// periodStart handles one period boundary: it settles the previous
+// period's retrains, advances pools, rebuilds the per-period
+// distribution maps, precomputes the period's arrivals and predictions
+// app by app, runs the method's period planning, and schedules the
+// period's retraining completions and work sessions.
+func (l *runLoop) periodStart(period int) {
+	if l.err != nil {
+		return
+	}
+	cfg := l.cfg
+	first := period * l.sessionsPerPeriod
+	last := first + l.sessionsPerPeriod - 1
+	if last > l.nSessions-1 {
+		last = l.nSessions - 1
+	}
+
+	// Settle the old period before touching its state: completions due
+	// at sessions up to first-1 were already applied by their own
+	// events; the remainder is discarded, as the session loop's cleared
+	// pending list never applied it. Applying uses the old poolDists,
+	// so this must precede the map rebuild below.
+	l.drainRetrains(first - 1)
+	l.retrains = l.retrains[:0]
+	l.heap = l.heap[:0]
+	l.periodFirst, l.periodLast = first, last
+
+	start := cfg.Clock.SessionStart(first)
+	if period > 0 {
+		if cfg.Debug {
+			for _, st := range l.states {
+				for _, ni := range st.inst.Nodes() {
+					live := ni.LiveDist()
+					pd, _ := ni.PoolDist()
+					fmt.Printf("debug p%d %s/%s: used=%d/%d trained=%v liveAcc=%.3f poolAcc=%.3f\n",
+						period-1, st.inst.App.Name, ni.Node.Name, ni.UsedSamples, len(ni.Pool.Samples),
+						ni.TrainedThisPeriod(), ni.State.Accuracy(live), ni.State.Accuracy(pd))
+				}
+			}
+		}
+		for _, st := range l.states {
+			st.inst.AdvancePeriod(cfg.PoolSamples)
+		}
+	}
+	for _, st := range l.states {
+		st.digestOK = false
+		clear(st.liveDists)
+		clear(st.poolDists)
+		clear(st.updatedAt)
+		clear(st.updated)
+		clear(st.carry)
+		for _, ni := range st.inst.Nodes() {
+			st.liveDists[ni.Node.Name] = ni.LiveDist()
+			pd, err := ni.PoolDist()
+			if err != nil {
+				l.fail(err)
+				return
+			}
+			st.poolDists[ni.Node.Name] = pd
+			l.rec.SetPoolSize(period, len(ni.Pool.Samples))
+		}
+	}
+
+	// Arrivals and predictions for the whole period, one app at a time.
+	// Each app's generator and predictor is independent of the others
+	// and of the shared RNG, and the predictor observes every session
+	// (including empty ones), so batching per app reproduces exactly
+	// the per-session call sequences.
+	n := last - first + 1
+	for s := 0; s < n; s++ {
+		l.work[s] = false
+	}
+	for i, st := range l.states {
+		arow, prow := l.actual[i], l.predicted[i]
+		for s := 0; s < n; s++ {
+			ws := cfg.Clock.SessionStart(first + s)
+			we := ws.Add(cfg.Clock.Session)
+			a := st.gen.CountInWindow(ws, we)
+			p := st.pred.Predict()
+			st.pred.Observe(a)
+			arow[s], prow[s] = a, p
+			if a > 0 || p > 0 {
+				l.work[s] = true
+			}
+		}
+	}
+
+	pctx := &sched.PeriodContext{
+		Period: period,
+		Start:  start,
+		Length: cfg.Clock.Period,
+		GPUs:   cfg.GPUs,
+		Rand:   l.rng,
+	}
+	for _, st := range l.states {
+		pctx.Jobs = append(pctx.Jobs, sched.JobRequest{Instance: st.inst, Profile: st.prof})
+	}
+	wall := time.Now()
+	pplan, err := cfg.Method.OnPeriodStart(pctx)
+	l.res.MeasuredPeriodPlanning += time.Since(wall)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	l.res.PeriodOverhead = pplan.Overhead
+	l.res.EdgeCloudTransfer = pplan.EdgeCloudTransfer
+	l.res.EdgeCloudBytes = pplan.EdgeCloudBytes
+
+	if cfg.Retraining {
+		for i := range pplan.Retrains {
+			l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: pplan.Retrains[i]})
+			r := &pplan.Retrains[i]
+			if r.GPUFraction > 0 && r.Busy > 0 {
+				l.rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
+			}
+		}
+		// Completions enter the heap and get an event at their apply
+		// session's start (pointers into l.retrains are stable: the
+		// slice is fully built above). One event per distinct session.
+		l.drainAt = l.drainAt[:0]
+		for i := range l.retrains {
+			pr := &l.retrains[i]
+			as := applySessionOf(pr.Completion, cfg.Clock.Session)
+			if as < first {
+				as = first
+			}
+			if as > last {
+				continue // never applies; discarded at the next boundary
+			}
+			heap.Push(&l.heap, retrainItem{pr: pr, applySession: as, planIdx: i})
+			l.drainAt = append(l.drainAt, as)
+		}
+		sort.Ints(l.drainAt)
+		prev := -1
+		for _, as := range l.drainAt {
+			if as == prev {
+				continue
+			}
+			prev = as
+			as := as
+			l.eng.Schedule(cfg.Clock.SessionStart(as), "retrain",
+				func(simtime.Instant) {
+					if l.err == nil {
+						l.drainRetrains(as)
+					}
+				})
+		}
+	}
+
+	if l.ff != nil {
+		l.ff.reset()
+	}
+	l.scheduleNextWork(first - 1)
+}
+
+// drainRetrains applies every heap entry due at or before maxSession,
+// in (applySession, planIdx) order — exactly the order the session
+// loop's plan-order scan applied them across sessions.
+func (l *runLoop) drainRetrains(maxSession int) {
+	for len(l.heap) > 0 && l.heap[0].applySession <= maxSession {
+		it := heap.Pop(&l.heap).(retrainItem)
+		l.applyRetrain(it.pr)
+	}
+}
+
+func (l *runLoop) applyRetrain(pr *pendingRetrain) {
+	pr.applied = true
+	st := l.byName[pr.App]
+	if st == nil {
+		return
+	}
+	st.digestOK = false
+	ni := st.inst.ByName[pr.Node]
+	target := st.poolDists[pr.Node]
+	if ni != nil && target != nil {
+		used := ni.ConsumeSamples(pr.Samples)
+		ni.State.Train(target, float64(used))
+		ni.NoteTrained()
+		st.updatedAt[pr.Node] = pr.Completion
+		st.updated[pr.Node] = true
+		l.rec.RecordRetrainEffort(pr.Completion, pr.Busy, used)
+	}
+}
+
+// scheduleNextWork schedules the first work session after `after`
+// within the current period. Work sessions form a chain — each
+// schedules its successor — keeping the engine's heap small.
+func (l *runLoop) scheduleNextWork(after int) {
+	for sess := after + 1; sess <= l.periodLast; sess++ {
+		if l.work[sess-l.periodFirst] {
+			sess := sess
+			l.eng.Schedule(l.cfg.Clock.SessionStart(sess), "session",
+				func(simtime.Instant) { l.workSession(sess) })
+			return
+		}
+	}
+}
+
+// workSession executes one request-bearing session: session planning
+// followed by job execution, or a fast-forward replay when the
+// session's inputs repeat a memoized one.
+func (l *runLoop) workSession(sess int) {
+	if l.err != nil {
+		return
+	}
+	defer func() {
+		if l.err == nil {
+			l.scheduleNextWork(sess)
+		}
+	}()
+	cfg := l.cfg
+	// Completion events due at this instant fired before this event;
+	// the defensive drain keeps the invariant explicit.
+	l.drainRetrains(sess)
+	start := cfg.Clock.SessionStart(sess)
+	si := sess - l.periodFirst
+
+	// GPU claimed by still-running whole-pool retrains, summed in plan
+	// order (floating-point addition order matters for bit-identity).
+	var retrainGPUBusy float64
+	for i := range l.retrains {
+		pr := &l.retrains[i]
+		if !pr.applied && pr.GPUFraction > 0 && !start.Before(pr.Completion.Add(-pr.Busy)) {
+			retrainGPUBusy += pr.GPUFraction
+		}
+	}
+
+	avail := cfg.GPUs - retrainGPUBusy
+	if avail < 0.1 {
+		avail = 0.1
+	}
+	concurrency := math.Ceil(float64(l.ewmaTa) / float64(cfg.Clock.Session))
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	share := avail / concurrency
+	if share > avail {
+		share = avail
+	}
+	// Quantize for plan-cache friendliness.
+	share = math.Round(share*100) / 100
+	if share < 0.02 {
+		share = 0.02
+	}
+
+	var key []byte
+	capture := false
+	if l.ff != nil {
+		key = l.ff.sessionKey(share, l.predicted, l.actual, si, l.states)
+		m, c := l.ff.lookup(key)
+		if m != nil {
+			l.replay(m, start)
+			return
+		}
+		capture = c
+	}
+
+	ctx := l.ctx
+	ctx.Session = sess
+	ctx.Start = start
+	ctx.GPUShare = share
+	ctx.Jobs = ctx.Jobs[:0]
+	for i, st := range l.states {
+		ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
+			Instance: st.inst,
+			Profile:  st.prof,
+			Requests: l.predicted[i][si],
+		})
+	}
+	wall := time.Now()
+	plan, err := cfg.Method.PlanSession(ctx)
+	l.res.MeasuredSessionPlanning += time.Since(wall)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	if plan.Overhead > l.res.SessionOverhead {
+		// Report the method's solve cost, not a cache hit's zero.
+		l.res.SessionOverhead = plan.Overhead
+	}
+
+	var memo *sessionMemo
+	if capture {
+		memo = &sessionMemo{overhead: plan.Overhead}
+	}
+	mutated := false
+	var sessionMakespan simtime.Duration
+	for i, st := range l.states {
+		if l.actual[i][si] == 0 {
+			continue
+		}
+		jp := jobPlanFor(plan, st.inst.App.Name)
+		dur, mut, err := l.runJob(st, jp, plan.Overhead, start, l.actual[i][si], memo)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		mutated = mutated || mut
+		if dur > sessionMakespan {
+			sessionMakespan = dur
+		}
+	}
+	if sessionMakespan > 0 {
+		l.ewmaTa = time.Duration(0.1*float64(sessionMakespan) + 0.9*float64(l.ewmaTa))
+	}
+	if memo != nil && !mutated {
+		// Only mutation-free sessions memoize: a hit must leave the
+		// simulation in exactly the state the full execution would.
+		memo.makespan = sessionMakespan
+		l.ff.store(key, memo)
+	}
+}
+
+// replay re-emits a memoized session's outcome. The recorder calls and
+// RNG draws are issued in exactly the order the full execution issued
+// them; only the per-request random draws run live, keeping the shared
+// RNG stream identical for everything downstream.
+func (l *runLoop) replay(m *sessionMemo, start simtime.Instant) {
+	l.ff.hits++
+	if m.overhead > l.res.SessionOverhead {
+		l.res.SessionOverhead = m.overhead
+	}
+	for i := range m.jobs {
+		j := &m.jobs[i]
+		l.rec.RecordJob(j.inferTotal, 0)
+		l.rec.RecordBusy(start.Add(j.lead), start.Add(j.latency), j.fraction)
+		l.res.Jobs++
+		for r := 0; r < j.actual; r++ {
+			l.rec.RecordRequest(start, j.met)
+			l.res.Requests++
+		}
+		for _, leaf := range j.leaves {
+			for r := 0; r < j.actual; r++ {
+				class := leaf.live.Sample(l.rng)
+				correct := l.rng.Float64() < leaf.probs[class]
+				l.rec.RecordPrediction(start, correct, leaf.usedUpdated)
+			}
+		}
+	}
+	if m.makespan > 0 {
+		l.ewmaTa = time.Duration(0.1*float64(m.makespan) + 0.9*float64(l.ewmaTa))
+	}
+}

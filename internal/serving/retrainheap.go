@@ -1,0 +1,48 @@
+package serving
+
+import "adainf/internal/simtime"
+
+// retrainItem is one scheduled whole-pool retraining awaiting
+// application, keyed by the session at which it applies. The key is the
+// session index, not the completion instant: two retrains completing
+// within the same 5 ms session window apply at the same session and
+// must do so in period-plan order, which planIdx preserves.
+type retrainItem struct {
+	pr           *pendingRetrain
+	applySession int
+	planIdx      int
+}
+
+// retrainHeap is a min-heap on (applySession, planIdx). It implements
+// container/heap.Interface.
+type retrainHeap []retrainItem
+
+func (h retrainHeap) Len() int { return len(h) }
+func (h retrainHeap) Less(i, j int) bool {
+	if h[i].applySession != h[j].applySession {
+		return h[i].applySession < h[j].applySession
+	}
+	return h[i].planIdx < h[j].planIdx
+}
+func (h retrainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *retrainHeap) Push(x any) { *h = append(*h, x.(retrainItem)) }
+
+func (h *retrainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// applySessionOf returns the first session whose start instant is not
+// before the completion: the session at which the session loop's
+// `!start.Before(Completion)` test first passes.
+func applySessionOf(completion simtime.Instant, session simtime.Duration) int {
+	d := completion.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return int((d + session - 1) / session)
+}

@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+
+	"adainf/internal/simtime"
+)
+
+func TestApplySessionOf(t *testing.T) {
+	session := 5 * time.Millisecond
+	cases := []struct {
+		completion simtime.Duration
+		want       int
+	}{
+		{0, 0},
+		{1 * time.Millisecond, 1},   // mid-session rounds up
+		{5 * time.Millisecond, 1},   // exact boundary applies at that session
+		{5*time.Millisecond + 1, 2}, // one tick past rounds up again
+		{50 * time.Second, 10000},
+	}
+	for _, c := range cases {
+		at := simtime.Instant(0).Add(c.completion)
+		if got := applySessionOf(at, session); got != c.want {
+			t.Errorf("applySessionOf(%v) = %d, want %d", c.completion, got, c.want)
+		}
+		// The defining property: the apply session is the first whose
+		// start is not before the completion.
+		start := simtime.Instant(0).Add(simtime.Duration(c.want) * session)
+		if start.Before(at) {
+			t.Errorf("completion %v: session %d starts before it", c.completion, c.want)
+		}
+		if c.want > 0 {
+			prev := simtime.Instant(0).Add(simtime.Duration(c.want-1) * session)
+			if !prev.Before(at) {
+				t.Errorf("completion %v: session %d is not the first valid one", c.completion, c.want)
+			}
+		}
+	}
+}
+
+// TestRetrainHeapOrder checks the pop order is (applySession, planIdx):
+// retrains completing within the same session window must apply in
+// period-plan order, exactly as the session loop's plan-order scan did.
+func TestRetrainHeapOrder(t *testing.T) {
+	prs := make([]pendingRetrain, 6)
+	var h retrainHeap
+	push := func(applySession, planIdx int) {
+		heap.Push(&h, retrainItem{pr: &prs[planIdx], applySession: applySession, planIdx: planIdx})
+	}
+	// Pushed out of order on purpose.
+	push(7, 3)
+	push(2, 4)
+	push(7, 0)
+	push(2, 1)
+	push(9, 2)
+	push(2, 5)
+	want := []struct{ sess, idx int }{
+		{2, 1}, {2, 4}, {2, 5}, {7, 0}, {7, 3}, {9, 2},
+	}
+	for i, w := range want {
+		it := heap.Pop(&h).(retrainItem)
+		if it.applySession != w.sess || it.planIdx != w.idx {
+			t.Fatalf("pop %d = (session %d, plan %d), want (%d, %d)",
+				i, it.applySession, it.planIdx, w.sess, w.idx)
+		}
+		if it.pr != &prs[w.idx] {
+			t.Fatalf("pop %d returned the wrong pendingRetrain", i)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("%d items left after draining", h.Len())
+	}
+}

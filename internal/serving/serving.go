@@ -16,8 +16,6 @@ package serving
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"time"
 
 	"adainf/internal/app"
@@ -141,6 +139,12 @@ type Result struct {
 
 	Requests int
 	Jobs     int
+
+	// FastForwardHits counts sessions served by steady-state
+	// fast-forward replay instead of full planning and execution
+	// (diagnostic; identical runs produce identical metrics whether a
+	// session replayed or executed).
+	FastForwardHits int
 }
 
 // appState is the runtime bundle per application.
@@ -168,6 +172,9 @@ type appState struct {
 	fallbackNodes []sched.NodePlan
 	// probs is runJob's per-class scratch buffer.
 	probs []float64
+	// digestCache/digestOK memoize digest() between mutations.
+	digestCache uint64
+	digestOK    bool
 }
 
 // pendingRetrain is a scheduled whole-pool retraining awaiting its
@@ -180,6 +187,15 @@ type pendingRetrain struct {
 // BuildProfiles builds (or reuses from cache) the per-app offline
 // profiles for the memory configuration.
 func BuildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy) (map[string]*profile.AppProfile, error) {
+	return BuildProfilesCached(apps, strat, newPolicy, "")
+}
+
+// BuildProfilesCached is BuildProfiles backed by the on-disk profile
+// cache in cacheDir (see profile.BuildAppProfileCached); an empty
+// cacheDir profiles from scratch.
+func BuildProfilesCached(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
+	cacheDir string) (map[string]*profile.AppProfile, error) {
+
 	out := make(map[string]*profile.AppProfile, len(apps))
 	byBase := make(map[string]*profile.AppProfile)
 	for _, a := range apps {
@@ -190,10 +206,10 @@ func BuildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.
 			out[base] = p
 			continue
 		}
-		p, err := profile.BuildAppProfile(a, profile.Config{
+		p, err := profile.BuildAppProfileCached(a, profile.Config{
 			Strategy:  strat,
 			NewPolicy: newPolicy,
-		})
+		}, cacheDir)
 		if err != nil {
 			return nil, err
 		}
@@ -270,193 +286,8 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Method: cfg.Method.Name()}
 	rng := dist.NewRNG(cfg.Seed ^ 0x5eed)
 
-	var pending []*pendingRetrain
-	ewmaTa := 50 * time.Millisecond
-	nSessions := int(cfg.Horizon / cfg.Clock.Session)
-	sessionsPerPeriod := cfg.Clock.SessionsPerPeriod()
-
-	// Per-session buffers, hoisted out of the 5 ms loop: the arrival
-	// counts and the session context (whose Jobs slice is rebuilt in
-	// place each session).
-	actual := make([]int, len(states))
-	predicted := make([]int, len(states))
-	ctx := &sched.SessionContext{
-		Jobs: make([]sched.JobRequest, 0, len(states)),
-	}
-
-	for sess := 0; sess < nSessions; sess++ {
-		start := cfg.Clock.SessionStart(sess)
-		end := start.Add(cfg.Clock.Session)
-
-		// ---- Period boundary ----
-		if sess%sessionsPerPeriod == 0 {
-			period := sess / sessionsPerPeriod
-			if period > 0 {
-				if cfg.Debug {
-					for _, st := range states {
-						for _, ni := range st.inst.Nodes() {
-							live := ni.LiveDist()
-							pd, _ := ni.PoolDist()
-							fmt.Printf("debug p%d %s/%s: used=%d/%d trained=%v liveAcc=%.3f poolAcc=%.3f\n",
-								period-1, st.inst.App.Name, ni.Node.Name, ni.UsedSamples, len(ni.Pool.Samples),
-								ni.TrainedThisPeriod(), ni.State.Accuracy(live), ni.State.Accuracy(pd))
-						}
-					}
-				}
-				for _, st := range states {
-					st.inst.AdvancePeriod(cfg.PoolSamples)
-				}
-			}
-			for _, st := range states {
-				// Clear-and-reuse: these maps hold one entry per node and
-				// are rebuilt every period; remaking them churned the heap
-				// for nothing.
-				clear(st.liveDists)
-				clear(st.poolDists)
-				clear(st.updatedAt)
-				clear(st.updated)
-				clear(st.carry)
-				for _, ni := range st.inst.Nodes() {
-					st.liveDists[ni.Node.Name] = ni.LiveDist()
-					pd, err := ni.PoolDist()
-					if err != nil {
-						return nil, err
-					}
-					st.poolDists[ni.Node.Name] = pd
-					rec.SetPoolSize(period, len(ni.Pool.Samples))
-				}
-			}
-			pending = pending[:0]
-			pctx := &sched.PeriodContext{
-				Period: period,
-				Start:  start,
-				Length: cfg.Clock.Period,
-				GPUs:   cfg.GPUs,
-				Rand:   rng,
-			}
-			for _, st := range states {
-				pctx.Jobs = append(pctx.Jobs, sched.JobRequest{Instance: st.inst, Profile: st.prof})
-			}
-			wall := time.Now()
-			pplan, err := cfg.Method.OnPeriodStart(pctx)
-			res.MeasuredPeriodPlanning += time.Since(wall)
-			if err != nil {
-				return nil, err
-			}
-			res.PeriodOverhead = pplan.Overhead
-			res.EdgeCloudTransfer = pplan.EdgeCloudTransfer
-			res.EdgeCloudBytes = pplan.EdgeCloudBytes
-			if cfg.Retraining {
-				for i := range pplan.Retrains {
-					pending = append(pending, &pendingRetrain{PeriodRetrain: pplan.Retrains[i]})
-					r := &pplan.Retrains[i]
-					if r.GPUFraction > 0 && r.Busy > 0 {
-						rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
-					}
-				}
-			}
-		}
-
-		// ---- Apply completed whole-pool retrainings ----
-		var retrainGPUBusy float64
-		for _, pr := range pending {
-			if !pr.applied && !start.Before(pr.Completion) {
-				pr.applied = true
-				st := stateByName(states, pr.App)
-				if st == nil {
-					continue
-				}
-				ni := st.inst.ByName[pr.Node]
-				target := st.poolDists[pr.Node]
-				if ni != nil && target != nil {
-					used := ni.ConsumeSamples(pr.Samples)
-					ni.State.Train(target, float64(used))
-					ni.NoteTrained()
-					st.updatedAt[pr.Node] = pr.Completion
-					st.updated[pr.Node] = true
-					rec.RecordRetrainEffort(pr.Completion, pr.Busy, used)
-				}
-			}
-			if !pr.applied && pr.GPUFraction > 0 {
-				activeFrom := pr.Completion.Add(-pr.Busy)
-				if !start.Before(activeFrom) {
-					retrainGPUBusy += pr.GPUFraction
-				}
-			}
-		}
-
-		// ---- Arrivals and prediction ----
-		anyWork := false
-		for i, st := range states {
-			actual[i] = st.gen.CountInWindow(start, end)
-			predicted[i] = st.pred.Predict()
-			st.pred.Observe(actual[i])
-			if actual[i] > 0 || predicted[i] > 0 {
-				anyWork = true
-			}
-		}
-		if !anyWork {
-			continue
-		}
-
-		// ---- Session planning ----
-		avail := cfg.GPUs - retrainGPUBusy
-		if avail < 0.1 {
-			avail = 0.1
-		}
-		concurrency := math.Ceil(float64(ewmaTa) / float64(cfg.Clock.Session))
-		if concurrency < 1 {
-			concurrency = 1
-		}
-		share := avail / concurrency
-		if share > avail {
-			share = avail
-		}
-		// Quantize for plan-cache friendliness.
-		share = math.Round(share*100) / 100
-		if share < 0.02 {
-			share = 0.02
-		}
-		ctx.Session = sess
-		ctx.Start = start
-		ctx.GPUShare = share
-		ctx.Jobs = ctx.Jobs[:0]
-		for i, st := range states {
-			ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
-				Instance: st.inst,
-				Profile:  st.prof,
-				Requests: predicted[i],
-			})
-		}
-		wall := time.Now()
-		plan, err := cfg.Method.PlanSession(ctx)
-		res.MeasuredSessionPlanning += time.Since(wall)
-		if err != nil {
-			return nil, err
-		}
-		if plan.Overhead > res.SessionOverhead {
-			// Report the method's solve cost, not a cache hit's zero.
-			res.SessionOverhead = plan.Overhead
-		}
-
-		// ---- Execute jobs ----
-		var sessionMakespan simtime.Duration
-		for i, st := range states {
-			if actual[i] == 0 {
-				continue
-			}
-			jp := jobPlanFor(plan, st.inst.App.Name)
-			dur, err := runJob(cfg, rec, rng, st, jp, plan.Overhead, start, actual[i], res)
-			if err != nil {
-				return nil, err
-			}
-			if dur > sessionMakespan {
-				sessionMakespan = dur
-			}
-		}
-		if sessionMakespan > 0 {
-			ewmaTa = time.Duration(0.1*float64(sessionMakespan) + 0.9*float64(ewmaTa))
-		}
+	if err := newRunLoop(&cfg, states, rec, res, rng).run(); err != nil {
+		return nil, err
 	}
 
 	res.PeriodAccuracy = rec.PeriodAccuracy()
@@ -472,15 +303,6 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func stateByName(states []*appState, name string) *appState {
-	for _, st := range states {
-		if st.inst.App.Name == name {
-			return st
-		}
-	}
-	return nil
-}
-
 func jobPlanFor(plan *sched.SessionPlan, appName string) *sched.JobPlan {
 	for i := range plan.Jobs {
 		if plan.Jobs[i].App == appName {
@@ -493,10 +315,19 @@ func jobPlanFor(plan *sched.SessionPlan, appName string) *sched.JobPlan {
 // runJob executes one job against the cost model: incremental
 // retraining (when planned) followed by inference per DAG node, scoring
 // every request's predictions and SLO outcome. It returns the job's
-// completion offset from the session start.
-func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp *sched.JobPlan,
-	lead simtime.Duration, start simtime.Instant, actual int, res *Result) (simtime.Duration, error) {
+// completion offset from the session start and whether it mutated any
+// simulation state beyond the metrics (i.e. made retraining progress) —
+// sessions whose jobs all report false are eligible for fast-forward
+// memoization into memo (which may be nil).
+func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
+	lead simtime.Duration, start simtime.Instant, actual int,
+	memo *sessionMemo) (simtime.Duration, bool, error) {
 
+	cfg := l.cfg
+	rec := l.rec
+	rng := l.rng
+	res := l.res
+	mutated := false
 	a := st.inst.App
 	fraction := 0.0
 	batch := 0
@@ -522,7 +353,7 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 	for _, np := range nodes {
 		ni := st.inst.ByName[np.Node]
 		if ni == nil {
-			return 0, fmt.Errorf("serving: plan for unknown node %q of %q", np.Node, a.Name)
+			return 0, false, fmt.Errorf("serving: plan for unknown node %q of %q", np.Node, a.Name)
 		}
 		// Incremental retraining before the node's inference (§3.2):
 		// the job trains for its allocated slice, with fractional
@@ -539,6 +370,8 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 					samplesF = float64(remaining)
 				}
 				if samplesF > 0 {
+					mutated = true
+					st.digestOK = false
 					st.carry[np.Node] += samplesF
 					whole := int(st.carry[np.Node])
 					if whole > 0 {
@@ -562,11 +395,11 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 		// Inference at the realized request count.
 		sp, err := st.prof.StructureProfileFor(np.Node, np.Structure)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		per, err := sp.PerBatch(batch, fraction)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		inferLat := per * simtime.Duration(nBatches)
 		t = t.Add(inferLat)
@@ -586,6 +419,7 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 		rec.RecordRequest(start, met)
 		res.Requests++
 	}
+	var mleaves []ffLeaf
 	for _, leaf := range st.leaves {
 		ni := st.inst.ByName[leaf]
 		live := st.liveDists[leaf]
@@ -604,13 +438,32 @@ func runJob(cfg Config, rec *metrics.Recorder, rng *rand.Rand, st *appState, jp 
 			probs[c] = ni.State.CorrectProb(c, live, stct)
 		}
 		usedUpdated := st.updated[leaf]
+		if memo != nil {
+			mleaves = append(mleaves, ffLeaf{
+				live:        live,
+				probs:       append([]float64(nil), probs...),
+				usedUpdated: usedUpdated,
+			})
+		}
 		for r := 0; r < actual; r++ {
 			class := live.Sample(rng)
 			correct := rng.Float64() < probs[class]
 			rec.RecordPrediction(start, correct, usedUpdated)
 		}
 	}
-	return latency, nil
+	if memo != nil {
+		memo.jobs = append(memo.jobs, ffJob{
+			st:         st,
+			actual:     actual,
+			fraction:   fraction,
+			lead:       lead,
+			latency:    latency,
+			inferTotal: inferTotal,
+			met:        met,
+			leaves:     mleaves,
+		})
+	}
+	return latency, mutated, nil
 }
 
 func fallbackBatch(actual int) int {

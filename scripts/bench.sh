@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Runs the repository's performance benchmarks (quick Fig. 18/19/22),
-# writes results/BENCH_<date>.json, and prints a comparison against the
-# committed results/BENCH_baseline.json. Extra arguments are forwarded
-# to cmd/bench (e.g. -workers 1 for a sequential run).
+# writes results/BENCH_<date>[-tag].json, and prints a comparison
+# against the committed results/BENCH_baseline.json with per-figure
+# wall-clock % deltas.
+#
+#   FAIL_ABOVE=0.2 scripts/bench.sh     # exit non-zero on a >20%
+#                                       # wall-clock regression
+#   scripts/bench.sh -workers 1 ...     # extra args forwarded to
+#                                       # cmd/bench
+#
+# By default the on-disk profile cache (results/profiles/) is used so
+# the run measures the serving engine, not repeated offline profiling;
+# pass -profile-cache "" to measure cold.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./cmd/bench "$@"
+exec go run ./cmd/bench \
+    -profile-cache results/profiles \
+    -fail-above "${FAIL_ABOVE:-0}" \
+    "$@"

@@ -21,10 +21,16 @@ echo "== go test =="
 go test ./...
 
 # The race detector covers the concurrent pieces: the experiment
-# worker pool, the shared profile cache, and the serving loop that
-# consumes scheduler plans. -short skips the multi-minute determinism
-# sweeps; the full suite above already runs them race-free.
-echo "== go test -race (experiments, serving, core) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/core/...
+# worker pool, the shared profile cache, the event engine, and the
+# serving loop that consumes scheduler plans. -short skips the
+# multi-minute determinism sweeps; the full suite above already runs
+# them race-free.
+echo "== go test -race (experiments, serving, eventsim, core) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/...
+
+# Quick bench smoke: regenerate the three benchmark artifacts and fail
+# on a >20% wall-clock regression vs results/BENCH_baseline.json.
+echo "== bench smoke =="
+FAIL_ABOVE=0.2 scripts/bench.sh -workers 1
 
 echo "CI OK"
