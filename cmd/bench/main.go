@@ -63,9 +63,11 @@ func main() {
 		outDir   = flag.String("out", "results", "directory for BENCH_<date>.json")
 		baseline = flag.String("baseline", filepath.Join("results", "BENCH_baseline.json"),
 			"baseline file to compare against (skipped if missing)")
-		note       = flag.String("note", "", "free-form note recorded in the output file")
-		tag        = flag.String("tag", "", "suffix for the output file name: BENCH_<date>-<tag>.json")
-		profDir    = flag.String("profile-cache", "", "directory for cached offline profiles (empty = rebuild every run)")
+		note    = flag.String("note", "", "free-form note recorded in the output file")
+		tag     = flag.String("tag", "", "suffix for the output file name: BENCH_<date>-<tag>.json")
+		profDir = flag.String("profile-cache", "", "directory for cached offline profiles (empty = rebuild every run)")
+		auditOn = flag.Bool("audit", false,
+			"validate every simulation against the paper's invariants (fail-fast; adds auditor overhead to the measurement)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering all artifacts to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the last artifact to this file")
 		failAbove  = flag.Float64("fail-above", 0,
@@ -98,6 +100,7 @@ func main() {
 	for _, a := range artifacts {
 		r, err := measure(a.fn, experiments.Options{
 			Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
+			Audit: *auditOn,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n", a.name, err)

@@ -52,7 +52,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		parallel = flag.Int("parallel", 0, "simulation arms run concurrently (0 = one per CPU, 1 = sequential; output is identical either way)")
 		progress = flag.Bool("progress", false, "report each completed simulation arm to stderr")
-		profDir  = flag.String("profile-cache", "results/profiles",
+		auditOn  = flag.Bool("audit", false,
+			"validate every simulation against the paper's invariants (fail-fast; metrics are bit-identical either way)")
+		profDir = flag.String("profile-cache", "results/profiles",
 			"directory for cached offline profiles (empty = rebuild every run; delete the directory to clear)")
 	)
 	flag.Usage = usage
@@ -67,7 +69,7 @@ func main() {
 	}
 	opts := experiments.Options{
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
-		Workers: *parallel, ProfileCache: *profDir,
+		Workers: *parallel, ProfileCache: *profDir, Audit: *auditOn,
 	}
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {
@@ -91,7 +93,12 @@ func main() {
 			continue
 		}
 		res.Render(os.Stdout)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		note := ""
+		if *auditOn {
+			// Fail-fast auditing: reaching here means zero violations.
+			note = ", audit clean"
+		}
+		fmt.Printf("(%s regenerated in %v%s)\n\n", id, time.Since(start).Round(time.Millisecond), note)
 	}
 	os.Exit(exit)
 }

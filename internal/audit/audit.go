@@ -1,0 +1,627 @@
+// Package audit is the serving simulator's runtime invariant auditor:
+// a pluggable checker layer the event loop calls at every period
+// boundary, session plan, retrain application, and served job. Each
+// hook validates the paper's guarantees —
+//
+//   - §3.3.1 scheduler plans: per-job GPU fractions lie in [0, 1],
+//     their sum stays within the session's GPU amount (with a
+//     documented tolerance for the MPS min-fraction floor), batch
+//     sizes come from the profiled set, and a plan that assigns
+//     retraining keeps InferTime + RetrainTime + Overhead ≤ SLO;
+//   - §3.3.2 retraining split: per-node retraining budgets never
+//     exceed the spare-time share their drift impact degree (or the
+//     /I equal split) allows, and only impacted nodes retrain;
+//   - event ordering: the simulated clock is monotone and the retrain
+//     heap drains in strict (applySession, planIdx) order;
+//   - request conservation: every period, per application,
+//     arrivals = SLO-met + SLO-missed served requests (the simulator
+//     never drops a request, so dropped ≡ 0).
+//
+// The §3.4 memory-accounting invariants (resident bytes ≤ capacity,
+// eviction order consistent with the S_c = (1−α)·R_c + α·L_s score)
+// live next to the state they guard, in gpumem.Manager.CheckInvariants
+// and the gpumem.Config.Audit eviction-order check; profiling runs
+// them when profile.Config.Audit is set.
+//
+// The auditor is strictly read-only: it never draws from the shared
+// RNG, mutates simulation state, or changes floating-point evaluation
+// order, so an audited run produces bit-identical metrics to an
+// unaudited one.
+//
+// Construction chooses the failure mode: New(nil, p) fails fast — the
+// first violation is returned as an error and aborts the run;
+// New(report, p) accumulates every violation into the report and lets
+// the run complete.
+package audit
+
+import (
+	"fmt"
+
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+)
+
+// Rule names the invariant a violation breaks.
+const (
+	// RuleClock: event instants must be non-decreasing.
+	RuleClock = "clock-monotone"
+	// RulePeriodOrder: period boundaries must arrive sequentially.
+	RulePeriodOrder = "period-order"
+	// RuleRetrainOrder: retrain applications must drain in strict
+	// (applySession, planIdx) order within a period.
+	RuleRetrainOrder = "retrain-order"
+	// RulePeriodPlan: period-plan retrains must be well-formed
+	// (positive samples, fraction in [0,1], completion within reach).
+	RulePeriodPlan = "period-plan"
+	// RulePlanShape: session plans must mirror the context (one job
+	// plan per job request, same app, same session index).
+	RulePlanShape = "plan-shape"
+	// RuleFraction: per-job GPU fraction must lie in [0, 1] and active
+	// jobs must have a positive fraction and batch.
+	RuleFraction = "gpu-fraction"
+	// RuleShareSum: the fractions of one session must sum within the
+	// session's GPU amount (§3.3.1), allowing the min-fraction floor's
+	// oversubscription.
+	RuleShareSum = "gpu-share-sum"
+	// RuleBatchProfiled: planned batch sizes must come from the
+	// profiled batch set of every planned structure.
+	RuleBatchProfiled = "batch-profiled"
+	// RuleInferSum: per-node inference times must sum exactly to the
+	// job's InferTime (§3.3.2: DAG tasks are time-sliced in the job's
+	// space, so the job's inference time is the sum over tasks).
+	RuleInferSum = "infer-time-sum"
+	// RuleRetrainSLO: a job that assigns retraining must still fit the
+	// SLO: InferTime + RetrainTime + Overhead ≤ SLO ("JobWorstCase ≤
+	// SLO for accepted plans", §3.3.2).
+	RuleRetrainSLO = "retrain-within-slo"
+	// RuleRetrainSplit: per-node retraining budgets must respect the
+	// impact-degree split (§3.3.2): every retraining node is impacted,
+	// and no budget exceeds max(U·I_i/ΣI, U/n) for spare time
+	// U = SLO − InferTime − Overhead.
+	RuleRetrainSplit = "retrain-split"
+	// RuleConservation: per period per app, arrivals = met + missed
+	// served requests (+ dropped, which is always zero here).
+	RuleConservation = "request-conservation"
+)
+
+// Violation is one broken invariant with its structured context.
+type Violation struct {
+	Rule    string
+	Period  int
+	Session int
+	App     string
+	Node    string
+	// Detail explains the violated relation with concrete values.
+	Detail string
+	// Plan is a snapshot of the offending session plan (copied, never
+	// aliasing the scheduler's reusable plan storage); empty for
+	// non-plan rules.
+	Plan string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	s := fmt.Sprintf("audit: %s: period %d", v.Rule, v.Period)
+	if v.Session >= 0 {
+		s += fmt.Sprintf(" session %d", v.Session)
+	}
+	if v.App != "" {
+		s += " app " + v.App
+	}
+	if v.Node != "" {
+		s += " node " + v.Node
+	}
+	s += ": " + v.Detail
+	if v.Plan != "" {
+		s += " [" + v.Plan + "]"
+	}
+	return s
+}
+
+// maxStored caps the violations kept in a report; Total keeps counting
+// beyond the cap.
+const maxStored = 100
+
+// Report accumulates an audited run's outcome.
+type Report struct {
+	// Checks counts individual invariant evaluations.
+	Checks int
+	// Total counts violations, including ones beyond the storage cap.
+	Total int
+	// Violations holds the first violations, up to an internal cap.
+	Violations []Violation
+}
+
+// Err returns nil for a clean report, or an error summarizing the
+// first violation.
+func (r *Report) Err() error {
+	if r.Total == 0 {
+		return nil
+	}
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("audit: %d violation(s), first: %w", r.Total, &r.Violations[0])
+	}
+	return fmt.Errorf("audit: %d violation(s)", r.Total)
+}
+
+// Params fixes the run-level quantities the invariants reference.
+type Params struct {
+	// GPUs is the server's physical GPU count: the capacity bound on a
+	// session plan's fraction sum when StrictShare is off.
+	GPUs float64
+	// MinFraction is the per-job GPU-space floor (the MPS minimum;
+	// zero defaults to 0.02). The floor may legitimately oversubscribe
+	// a small share by up to MinFraction per active job, which the
+	// share-sum bound tolerates.
+	MinFraction float64
+	// StrictShare tightens the share-sum bound to the current
+	// session's GPUShare. Sound only for sched.SteadyStatePlanner
+	// methods, whose plans are pure functions of the current inputs —
+	// a method that caches plans across sessions (Scrooge's 100 ms
+	// solve window) may carry a sum computed against an earlier,
+	// larger share.
+	StrictShare bool
+}
+
+// eps absorbs floating-point rounding in fraction comparisons.
+const eps = 1e-9
+
+// tally tracks one app's request conservation within a period.
+type tally struct {
+	arrivals int
+	met      int
+	missed   int
+}
+
+// Auditor validates a run's events against the invariant catalog. It
+// is not safe for concurrent use; the event loop drives it from a
+// single goroutine in virtual-time order.
+type Auditor struct {
+	p        Params
+	report   *Report
+	failFast bool
+
+	lastEvent simtime.Instant
+	haveEvent bool
+
+	period  int
+	started bool
+
+	haveRetrain bool
+	lastApplyAt int
+	lastPlanIdx int
+
+	apps  map[string]*tally
+	order []string
+}
+
+// New returns an auditor. A nil report selects fail-fast mode: the
+// first violation is returned as an error by the hook that found it
+// (an internal report still counts checks). A non-nil report selects
+// accumulate mode: hooks record violations and return nil.
+func New(report *Report, p Params) *Auditor {
+	if p.MinFraction == 0 {
+		p.MinFraction = 0.02
+	}
+	a := &Auditor{p: p, report: report, period: -1, apps: make(map[string]*tally)}
+	if report == nil {
+		a.report = &Report{}
+		a.failFast = true
+	}
+	return a
+}
+
+// Checks returns the number of invariant evaluations performed.
+func (a *Auditor) Checks() int { return a.report.Checks }
+
+// Report returns the auditor's report (the caller-supplied one in
+// accumulate mode).
+func (a *Auditor) Report() *Report { return a.report }
+
+func (a *Auditor) violate(v Violation) error {
+	r := a.report
+	r.Total++
+	if len(r.Violations) < maxStored {
+		r.Violations = append(r.Violations, v)
+	}
+	if a.failFast {
+		return &v
+	}
+	return nil
+}
+
+// check counts one invariant evaluation and records a violation when
+// ok is false. mk builds the violation lazily so the passing path pays
+// no formatting cost.
+func (a *Auditor) check(ok bool, mk func() Violation) error {
+	a.report.Checks++
+	if ok {
+		return nil
+	}
+	return a.violate(mk())
+}
+
+// OnEvent observes one event-loop dispatch at the instant.
+func (a *Auditor) OnEvent(now simtime.Instant) error {
+	prev, had := a.lastEvent, a.haveEvent
+	a.lastEvent, a.haveEvent = now, true
+	return a.check(!had || !now.Before(prev), func() Violation {
+		return Violation{
+			Rule: RuleClock, Period: a.period, Session: -1,
+			Detail: fmt.Sprintf("event at %v before previous event at %v", now, prev),
+		}
+	})
+}
+
+// BeginPeriod opens a period boundary: it settles the previous
+// period's request conservation and resets the per-period state.
+func (a *Auditor) BeginPeriod(period int) error {
+	if err := a.check(period == a.period+1, func() Violation {
+		return Violation{
+			Rule: RulePeriodOrder, Period: period, Session: -1,
+			Detail: fmt.Sprintf("period %d began after period %d", period, a.period),
+		}
+	}); err != nil {
+		return err
+	}
+	if err := a.closePeriod(); err != nil {
+		return err
+	}
+	a.period = period
+	a.started = true
+	a.haveRetrain = false
+	clear(a.apps)
+	a.order = a.order[:0]
+	return nil
+}
+
+// ExpectArrivals registers an app's total arrivals for the current
+// period (the conservation left-hand side).
+func (a *Auditor) ExpectArrivals(app string, n int) {
+	t := a.apps[app]
+	if t == nil {
+		t = &tally{}
+		a.apps[app] = t
+		a.order = append(a.order, app)
+	}
+	t.arrivals += n
+}
+
+// OnServed observes requests of one executed (or replayed) job:
+// either all met the SLO or all missed it, as the whole batch shares
+// one completion time.
+func (a *Auditor) OnServed(app string, requests int, met bool) error {
+	t := a.apps[app]
+	if err := a.check(t != nil, func() Violation {
+		return Violation{
+			Rule: RuleConservation, Period: a.period, Session: -1, App: app,
+			Detail: fmt.Sprintf("%d requests served for an app with no registered arrivals", requests),
+		}
+	}); err != nil || t == nil {
+		return err
+	}
+	if met {
+		t.met += requests
+	} else {
+		t.missed += requests
+	}
+	return nil
+}
+
+// closePeriod settles the finished period's conservation equation.
+func (a *Auditor) closePeriod() error {
+	if !a.started {
+		return nil
+	}
+	for _, app := range a.order {
+		t := a.apps[app]
+		if err := a.check(t.met+t.missed == t.arrivals, func() Violation {
+			return Violation{
+				Rule: RuleConservation, Period: a.period, Session: -1, App: app,
+				Detail: fmt.Sprintf("arrivals %d != served %d (met %d + missed %d, dropped 0)",
+					t.arrivals, t.met+t.missed, t.met, t.missed),
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish settles the final period. Call once after the run completes.
+func (a *Auditor) Finish() error {
+	return a.closePeriod()
+}
+
+// OnRetrainApply observes one retrain application popped from the
+// heap; within a period the sequence must strictly increase in
+// (applySession, planIdx).
+func (a *Auditor) OnRetrainApply(applySession, planIdx int) error {
+	prevAS, prevIdx, had := a.lastApplyAt, a.lastPlanIdx, a.haveRetrain
+	a.lastApplyAt, a.lastPlanIdx, a.haveRetrain = applySession, planIdx, true
+	ordered := !had || applySession > prevAS || (applySession == prevAS && planIdx > prevIdx)
+	return a.check(ordered, func() Violation {
+		return Violation{
+			Rule: RuleRetrainOrder, Period: a.period, Session: applySession,
+			Detail: fmt.Sprintf("retrain (apply %d, plan %d) after (apply %d, plan %d)",
+				applySession, planIdx, prevAS, prevIdx),
+		}
+	})
+}
+
+// OnPeriodPlan validates the period plan's retrains.
+func (a *Auditor) OnPeriodPlan(ctx *sched.PeriodContext, plan *sched.PeriodPlan) error {
+	for i := range plan.Retrains {
+		r := &plan.Retrains[i]
+		v := func(detail string) func() Violation {
+			return func() Violation {
+				return Violation{
+					Rule: RulePeriodPlan, Period: ctx.Period, Session: -1,
+					App: r.App, Node: r.Node, Detail: detail,
+				}
+			}
+		}
+		if err := a.check(r.Samples > 0, v(fmt.Sprintf("retrain of %d samples", r.Samples))); err != nil {
+			return err
+		}
+		if err := a.check(r.GPUFraction >= 0 && r.GPUFraction <= 1+eps,
+			v(fmt.Sprintf("retrain GPU fraction %g out of [0,1]", r.GPUFraction))); err != nil {
+			return err
+		}
+		if err := a.check(r.Busy >= 0, v(fmt.Sprintf("negative busy time %v", r.Busy))); err != nil {
+			return err
+		}
+		if err := a.check(!r.Completion.Before(ctx.Start),
+			v(fmt.Sprintf("completion %v before period start %v", r.Completion, ctx.Start))); err != nil {
+			return err
+		}
+		if err := a.check(r.Completion.Sub(ctx.Start) >= r.Busy,
+			v(fmt.Sprintf("busy %v starts before period start %v (completion %v)",
+				r.Busy, ctx.Start, r.Completion))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnSessionPlan validates one session plan against its context and the
+// §3.3 invariants.
+func (a *Auditor) OnSessionPlan(ctx *sched.SessionContext, plan *sched.SessionPlan) error {
+	sess := ctx.Session
+	if err := a.check(plan.Session == sess, func() Violation {
+		return Violation{
+			Rule: RulePlanShape, Period: a.period, Session: sess,
+			Detail: fmt.Sprintf("plan labelled session %d", plan.Session),
+			Plan:   snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+	if err := a.check(len(plan.Jobs) == len(ctx.Jobs), func() Violation {
+		return Violation{
+			Rule: RulePlanShape, Period: a.period, Session: sess,
+			Detail: fmt.Sprintf("%d job plans for %d job requests", len(plan.Jobs), len(ctx.Jobs)),
+			Plan:   snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+	if len(plan.Jobs) != len(ctx.Jobs) {
+		return nil // shape broken; per-job checks would misalign
+	}
+
+	nActive := 0
+	var totalFraction float64
+	for i := range plan.Jobs {
+		jp := &plan.Jobs[i]
+		jr := &ctx.Jobs[i]
+		if err := a.check(jp.App == jr.Instance.App.Name, func() Violation {
+			return Violation{
+				Rule: RulePlanShape, Period: a.period, Session: sess, App: jp.App,
+				Detail: fmt.Sprintf("job %d planned for %q, context has %q", i, jp.App, jr.Instance.App.Name),
+				Plan:   snapshotPlan(plan),
+			}
+		}); err != nil {
+			return err
+		}
+		if err := a.check(jp.Fraction >= 0 && jp.Fraction <= 1+eps, func() Violation {
+			return Violation{
+				Rule: RuleFraction, Period: a.period, Session: sess, App: jp.App,
+				Detail: fmt.Sprintf("fraction %g out of [0,1]", jp.Fraction),
+				Plan:   snapshotPlan(plan),
+			}
+		}); err != nil {
+			return err
+		}
+		totalFraction += jp.Fraction
+		if jp.Fraction <= 0 && jp.Batch <= 0 {
+			continue // unplanned job (no predicted requests); runtime serves it via fallback
+		}
+		nActive++
+		if err := a.check(jp.Fraction > 0 && jp.Batch >= 1, func() Violation {
+			return Violation{
+				Rule: RuleFraction, Period: a.period, Session: sess, App: jp.App,
+				Detail: fmt.Sprintf("active job with fraction %g, batch %d", jp.Fraction, jp.Batch),
+				Plan:   snapshotPlan(plan),
+			}
+		}); err != nil {
+			return err
+		}
+		if err := a.auditJob(ctx, plan, jr, jp); err != nil {
+			return err
+		}
+	}
+
+	// §3.3.1: fractions sum within the session's GPU amount. The
+	// min-fraction floor may push each active job up to the floor, so
+	// the bound tolerates floor·nActive of oversubscription; methods
+	// that cache plans across sessions are bounded by the physical
+	// capacity instead of the (possibly smaller) current share.
+	slack := a.p.MinFraction * float64(nActive)
+	bound := a.p.GPUs + slack
+	if a.p.StrictShare {
+		bound = ctx.GPUShare
+		if slack > ctx.GPUShare {
+			bound = slack
+		}
+	}
+	return a.check(totalFraction <= bound+eps, func() Violation {
+		return Violation{
+			Rule: RuleShareSum, Period: a.period, Session: sess,
+			Detail: fmt.Sprintf("fractions sum to %g, bound %g (share %g, %d active, floor %g)",
+				totalFraction, bound, ctx.GPUShare, nActive, a.p.MinFraction),
+			Plan: snapshotPlan(plan),
+		}
+	})
+}
+
+// auditJob validates one active job plan: profiled batches, inference
+// and retraining time accounting, and the §3.3.2 retraining split.
+func (a *Auditor) auditJob(ctx *sched.SessionContext, plan *sched.SessionPlan,
+	jr *sched.JobRequest, jp *sched.JobPlan) error {
+
+	sess := ctx.Session
+	var inferSum, retrainSum simtime.Duration
+	for n := range jp.Nodes {
+		np := &jp.Nodes[n]
+		sp, err := jr.Profile.StructureProfileFor(np.Node, np.Structure)
+		if err == nil {
+			_, err = sp.PerBatch(jp.Batch, jp.Fraction)
+		}
+		if cerr := a.check(err == nil, func() Violation {
+			return Violation{
+				Rule: RuleBatchProfiled, Period: a.period, Session: sess, App: jp.App, Node: np.Node,
+				Detail: fmt.Sprintf("batch %d at fraction %g: %v", jp.Batch, jp.Fraction, err),
+				Plan:   snapshotPlan(plan),
+			}
+		}); cerr != nil {
+			return cerr
+		}
+		if cerr := a.check(np.InferTime >= 0 && np.RetrainTime >= 0 && np.RetrainSamples >= 0, func() Violation {
+			return Violation{
+				Rule: RuleInferSum, Period: a.period, Session: sess, App: jp.App, Node: np.Node,
+				Detail: fmt.Sprintf("negative node accounting: infer %v retrain %v samples %d",
+					np.InferTime, np.RetrainTime, np.RetrainSamples),
+				Plan: snapshotPlan(plan),
+			}
+		}); cerr != nil {
+			return cerr
+		}
+		inferSum += np.InferTime
+		retrainSum += np.RetrainTime
+	}
+	if err := a.check(inferSum == jp.InferTime, func() Violation {
+		return Violation{
+			Rule: RuleInferSum, Period: a.period, Session: sess, App: jp.App,
+			Detail: fmt.Sprintf("node inference times sum to %v, job InferTime %v", inferSum, jp.InferTime),
+			Plan:   snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+	if err := a.check(retrainSum == jp.RetrainTime, func() Violation {
+		return Violation{
+			Rule: RuleInferSum, Period: a.period, Session: sess, App: jp.App,
+			Detail: fmt.Sprintf("node retrain times sum to %v, job RetrainTime %v", retrainSum, jp.RetrainTime),
+			Plan:   snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+
+	if jp.RetrainTime <= 0 {
+		return nil
+	}
+
+	// §3.3.2: retraining fits into the spare SLO time after inference
+	// and the scheduling lead, and splits by drift impact degree.
+	slo := jr.Instance.App.SLO
+	if err := a.check(jp.InferTime+jp.RetrainTime+plan.Overhead <= slo, func() Violation {
+		return Violation{
+			Rule: RuleRetrainSLO, Period: a.period, Session: sess, App: jp.App,
+			Detail: fmt.Sprintf("infer %v + retrain %v + overhead %v exceeds SLO %v",
+				jp.InferTime, jp.RetrainTime, plan.Overhead, slo),
+			Plan: snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+	dag := jr.Dag
+	if err := a.check(dag != nil && len(dag.Impact) > 0, func() Violation {
+		return Violation{
+			Rule: RuleRetrainSplit, Period: a.period, Session: sess, App: jp.App,
+			Detail: "retraining assigned with no impacted nodes",
+			Plan:   snapshotPlan(plan),
+		}
+	}); err != nil {
+		return err
+	}
+	if dag == nil || len(dag.Impact) == 0 {
+		return nil
+	}
+
+	// The split's upper bound uses the unmargined spare time
+	// U = SLO − InferTime − Overhead: the implementation holds back a
+	// safety margin below U, and the pool-latency cap only lowers
+	// budgets, so every sound split satisfies
+	// budget_i ≤ max(U·I_i/ΣI, U/n) over the nodes that retrain.
+	spare := slo - jp.InferTime - plan.Overhead
+	nRetrain := 0
+	var totalImpact float64
+	for n := range jp.Nodes {
+		if jp.Nodes[n].RetrainTime > 0 {
+			nRetrain++
+			totalImpact += dag.Impact[jp.Nodes[n].Node]
+		}
+	}
+	for n := range jp.Nodes {
+		np := &jp.Nodes[n]
+		if np.RetrainTime <= 0 {
+			continue
+		}
+		impact, impacted := dag.Impact[np.Node]
+		if err := a.check(impacted, func() Violation {
+			return Violation{
+				Rule: RuleRetrainSplit, Period: a.period, Session: sess, App: jp.App, Node: np.Node,
+				Detail: "retraining assigned to a node outside the impact set",
+				Plan:   snapshotPlan(plan),
+			}
+		}); err != nil {
+			return err
+		}
+		if !impacted {
+			continue
+		}
+		limit := spare / simtime.Duration(nRetrain)
+		if totalImpact > 0 {
+			if prop := simtime.Duration(float64(spare) * impact / totalImpact); prop > limit {
+				limit = prop
+			}
+		}
+		// +1 ns absorbs the float→duration truncation at the boundary.
+		if err := a.check(np.RetrainTime <= limit+1, func() Violation {
+			return Violation{
+				Rule: RuleRetrainSplit, Period: a.period, Session: sess, App: jp.App, Node: np.Node,
+				Detail: fmt.Sprintf("budget %v exceeds split bound %v (spare %v, impact %g/%g, %d retraining)",
+					np.RetrainTime, limit, spare, impact, totalImpact, nRetrain),
+				Plan: snapshotPlan(plan),
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotPlan renders a session plan into an owned string: scheduler
+// plans alias reusable arenas that are invalid after the next
+// PlanSession, so violations must copy what they reference.
+func snapshotPlan(plan *sched.SessionPlan) string {
+	s := fmt.Sprintf("session %d overhead %v:", plan.Session, plan.Overhead)
+	for i := range plan.Jobs {
+		jp := &plan.Jobs[i]
+		s += fmt.Sprintf(" {%s f=%g b=%d infer=%v retrain=%v nodes=%d}",
+			jp.App, jp.Fraction, jp.Batch, jp.InferTime, jp.RetrainTime, len(jp.Nodes))
+	}
+	return s
+}

@@ -51,6 +51,11 @@ type Options struct {
 	// ProfileCache is a directory holding cached offline profiles
 	// (profile.BuildAppProfileCached). Empty profiles from scratch.
 	ProfileCache string
+	// Audit runs every simulation arm (and any profile build an arm
+	// triggers) under the runtime invariant auditor in fail-fast mode:
+	// the first violation fails the artifact. Metrics are bit-identical
+	// with auditing on (the auditor is read-only).
+	Audit bool
 }
 
 // ProgressEvent reports one completed simulation arm.
@@ -212,12 +217,22 @@ type profileEntry struct {
 	err  error
 }
 
-func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string) (map[string]*profile.AppProfile, error) {
+func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool) (map[string]*profile.AppProfile, error) {
 	key := mem.name + "|" + appSetKey(apps)
+	if audit {
+		// Audited builds run extra (behaviour-preserving) checks; keep
+		// them distinct so an unaudited entry doesn't satisfy an
+		// audited request.
+		key = "audit|" + key
+	}
 	v, _ := profileCache.LoadOrStore(key, &profileEntry{})
 	e := v.(*profileEntry)
 	e.once.Do(func() {
-		e.p, e.err = serving.BuildProfilesCached(apps, mem.strategy, mem.policy, cacheDir)
+		build := serving.BuildProfilesCached
+		if audit {
+			build = serving.BuildProfilesAudited
+		}
+		e.p, e.err = build(apps, mem.strategy, mem.policy, cacheDir)
 	})
 	return e.p, e.err
 }
@@ -226,7 +241,7 @@ func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string) (map[string
 func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 	retrain, divergent bool, mem memoryConfig) (*serving.Result, error) {
 
-	profs, err := profilesFor(apps, mem, o.ProfileCache)
+	profs, err := profilesFor(apps, mem, o.ProfileCache, o.Audit)
 	if err != nil {
 		return nil, err
 	}
@@ -243,5 +258,6 @@ func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 		NewPolicy:          mem.policy,
 		PoolSamples:        o.Pool,
 		Profiles:           profs,
+		Audit:              o.Audit,
 	})
 }

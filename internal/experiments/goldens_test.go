@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,6 +94,13 @@ func goldenArms(t *testing.T) (labels []string, arms []arm) {
 	}
 	add("fig18", fig18QuickArms(t))
 	add("fig22", fig22QuickArms(t))
+	// fig24's arms share armLabel (same method/app count/GPUs, only the
+	// vehicle-type accuracy threshold differs), so label by threshold.
+	for _, a := range fig24QuickArms() {
+		am := a.apps[0].Node("vehicle-type").AccThreshold
+		labels = append(labels, fmt.Sprintf("fig24/%s A_m=%.2f", armLabel(&a), am))
+		arms = append(arms, a)
+	}
 	return labels, arms
 }
 
@@ -103,7 +111,12 @@ func TestServingGoldens(t *testing.T) {
 	// Two periods: covers period boundaries, whole-pool retrain
 	// completions mid-period, and cross-period drift adaptation while
 	// staying affordable in CI.
-	o := Options{Quick: true, Seed: 3, Horizon: 100 * time.Second, Workers: 1}
+	//
+	// Audit is on: the invariant auditor is read-only, so every golden
+	// arm must reproduce the recorded (pre-auditor) metrics bit for bit
+	// while also passing the full invariant catalog — a violation fails
+	// the arm before the comparison.
+	o := Options{Quick: true, Seed: 3, Horizon: 100 * time.Second, Workers: 1, Audit: true}
 	o.fill()
 
 	labels, arms := goldenArms(t)
@@ -175,6 +188,23 @@ func fig18QuickArms(t *testing.T) []arm {
 			arm{m: m, apps: twoApps, gpus: 4},
 			arm{m: m, apps: defaultApps, gpus: 1},
 		)
+	}
+	return arms
+}
+
+// fig24QuickArms rebuilds the quick fig24 arm list: AdaInf serving the
+// video-surveillance pipeline alone on one GPU with the vehicle-type
+// accuracy threshold A_m mutated (see Fig24). Among the remaining
+// macro artifacts this is the one worth pinning: fig19's quick arm
+// list is identical to fig18's, while fig24 exercises the
+// single-app/single-GPU drift-threshold regime no other golden covers.
+func fig24QuickArms() []arm {
+	thresholds := []float64{0.80, 0.95}
+	arms := make([]arm, len(thresholds))
+	for i, am := range thresholds {
+		vs := app.VideoSurveillance()
+		vs.Node("vehicle-type").AccThreshold = am
+		arms[i] = arm{m: adaInf(), apps: []*app.App{vs}, gpus: 1}
 	}
 	return arms
 }

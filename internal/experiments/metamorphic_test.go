@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestParallelDeterminismShort asserts the experiment engine's worker
+// count is invisible to results: the same arm set run sequentially and
+// with a worker pool produces bit-identical metrics (arm seeds derive
+// from workload keys, not execution order). Audit is on, so each arm
+// also passes the invariant catalog. Unlike TestParallelDeterminism's
+// full fig18/fig22 sweep, this uses the two cheap fig24 arms and stays
+// in -short runs.
+func TestParallelDeterminismShort(t *testing.T) {
+	seq := Options{Quick: true, Seed: 5, Horizon: 100 * time.Second, Workers: 1, Audit: true}
+	par := seq
+	par.Workers = 4
+
+	arms := fig24QuickArms()
+	rSeq, err := runArms(seq, "metamorphic", fig24QuickArms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPar, err := runArms(par, "metamorphic", fig24QuickArms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rSeq) != len(arms) || len(rPar) != len(arms) {
+		t.Fatalf("got %d and %d results for %d arms", len(rSeq), len(rPar), len(arms))
+	}
+	for i := range arms {
+		a, err := json.Marshal(goldenOf(rSeq[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(goldenOf(rPar[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("arm %d diverged across worker counts\n  1: %s\n  4: %s", i, a, b)
+		}
+	}
+}

@@ -89,6 +89,9 @@ type PartitionConfig struct {
 	PinBytes int64
 	// Policy is the eviction policy; nil defaults to LRU.
 	Policy gpumem.Policy
+	// Audit enables the memory manager's eviction-order audit
+	// (gpumem.Config.Audit).
+	Audit bool
 }
 
 // NewPartition carves fraction ∈ (0, 1] of the device. It panics on an
@@ -115,6 +118,7 @@ func NewPartition(spec Spec, fraction float64, cfg PartitionConfig) *Partition {
 		GPUBytes: memBytes,
 		PinBytes: cfg.PinBytes,
 		Policy:   cfg.Policy,
+		Audit:    cfg.Audit,
 	})
 	return &Partition{spec: spec, fraction: fraction, mem: mem}
 }

@@ -1,0 +1,96 @@
+package gpumem
+
+import "fmt"
+
+// CheckInvariants validates the manager's §3.4 memory accounting:
+//
+//   - gpuUsed equals the byte sum of resident entries and never
+//     exceeds the GPU capacity;
+//   - pinUsed equals the byte sum of PIN entries and stays within the
+//     PIN capacity;
+//   - the residents list and the entries map agree (every locGPU
+//     entry is listed exactly once at its recorded index; nothing
+//     else is listed);
+//   - when Config.Audit is set, no earlier makeRoom call violated the
+//     eviction order (victims taken highest priority score first,
+//     S_c = (1−α)·R_c + α·L_s under the priority policy, with the
+//     working set exempt).
+//
+// It returns nil when every invariant holds. The walk is read-only
+// and deterministic (aggregates only — no map-order dependence).
+func (m *Manager) CheckInvariants() error {
+	if m.auditErr != nil {
+		return m.auditErr
+	}
+	var gpu, pin int64
+	nResident := 0
+	for id, e := range m.entries {
+		if e.content.ID != id {
+			return fmt.Errorf("gpumem: entry keyed %v holds content %v", id, e.content.ID)
+		}
+		if e.content.Bytes <= 0 {
+			return fmt.Errorf("gpumem: entry %v has %d bytes", id, e.content.Bytes)
+		}
+		switch e.loc {
+		case locGPU:
+			gpu += e.content.Bytes
+			nResident++
+			if e.resIdx < 0 || e.resIdx >= len(m.residents) || m.residents[e.resIdx] != e {
+				return fmt.Errorf("gpumem: resident entry %v has stale residents index %d", id, e.resIdx)
+			}
+		case locPinned:
+			pin += e.content.Bytes
+			if e.resIdx != -1 {
+				return fmt.Errorf("gpumem: pinned entry %v has residents index %d", id, e.resIdx)
+			}
+		default:
+			if e.resIdx != -1 {
+				return fmt.Errorf("gpumem: pageable entry %v has residents index %d", id, e.resIdx)
+			}
+		}
+	}
+	if nResident != len(m.residents) {
+		return fmt.Errorf("gpumem: %d resident entries, residents list has %d", nResident, len(m.residents))
+	}
+	if gpu != m.gpuUsed {
+		return fmt.Errorf("gpumem: gpuUsed %d, resident bytes sum to %d", m.gpuUsed, gpu)
+	}
+	if pin != m.pinUsed {
+		return fmt.Errorf("gpumem: pinUsed %d, pinned bytes sum to %d", m.pinUsed, pin)
+	}
+	if m.gpuUsed > m.cfg.GPUBytes {
+		return fmt.Errorf("gpumem: resident bytes %d exceed GPU capacity %d", m.gpuUsed, m.cfg.GPUBytes)
+	}
+	if m.pinUsed > m.cfg.PinBytes {
+		return fmt.Errorf("gpumem: PIN bytes %d exceed PIN capacity %d", m.pinUsed, m.cfg.PinBytes)
+	}
+	return nil
+}
+
+// auditEvictionOrder verifies one makeRoom call's sorted candidate
+// list: scores non-increasing with the unique seq breaking ties
+// ascending (a strict total order), and no working-set member offered
+// as a victim. The first violation is stashed in auditErr for
+// CheckInvariants to surface; later calls keep the first.
+func (m *Manager) auditEvictionOrder(candidates []scoredEntry) {
+	if m.auditErr != nil {
+		return
+	}
+	for i := range candidates {
+		c := &candidates[i]
+		if c.e.stamp == m.stampGen {
+			m.auditErr = fmt.Errorf("gpumem: eviction candidate %v is in the working set", c.e.content.ID)
+			return
+		}
+		if i == 0 {
+			continue
+		}
+		p := &candidates[i-1]
+		if c.score > p.score || (c.score == p.score && c.e.seq <= p.e.seq) {
+			m.auditErr = fmt.Errorf(
+				"gpumem: eviction order broken at %d: %v (score %g, seq %d) before %v (score %g, seq %d)",
+				i, p.e.content.ID, p.score, p.e.seq, c.e.content.ID, c.score, c.e.seq)
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gpumem
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ func TestRandomOperationInvariants(t *testing.T) {
 			GPUBytes: int64(1+rng.Intn(64)) * mb,
 			PinBytes: int64(rng.Intn(16)) * mb,
 			Policy:   policies[rng.Intn(len(policies))],
+			Audit:    true, // eviction-order audit surfaces via CheckInvariants below
 		})
 		now := simtime.Instant(0)
 		var live []ContentID
@@ -76,6 +78,12 @@ func TestRandomOperationInvariants(t *testing.T) {
 			} else {
 				lastComm = comm
 			}
+			// Full structural audit: per-entry location/backpointer
+			// consistency, aggregate accounting, capacity bounds, and
+			// any eviction-order violation the last makeRoom stashed.
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
 		}
 		// Releasing everything must drain the accounting to zero.
 		m.ReleaseMatching(func(ContentID) bool { return true })
@@ -83,6 +91,61 @@ func TestRandomOperationInvariants(t *testing.T) {
 			t.Fatalf("seed %d: usage after full release: gpu=%d pin=%d",
 				seed, m.GPUUsed(), m.PinUsed())
 		}
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption proves the auditor is not
+// vacuous: hand-corrupting the accounting in each way it guards must
+// produce an error.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func(t *testing.T) *Manager {
+		t.Helper()
+		m := NewManager(Config{GPUBytes: 8 * mb, PinBytes: 4 * mb, Audit: true})
+		for i := 0; i < 3; i++ {
+			acc := Access{
+				Content: Content{
+					ID:    ContentID{App: "x", Model: "m", Layer: i, Kind: KindParam},
+					Bytes: mb,
+					SLOms: 400,
+				},
+				Phase: PhaseInference,
+				Model: "m",
+			}
+			if _, err := m.Acquire(simtime.Instant(time.Duration(i)*time.Millisecond), []Access{acc}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("clean manager failed audit: %v", err)
+		}
+		return m
+	}
+	corruptions := []struct {
+		name string
+		do   func(*Manager)
+	}{
+		{"gpuUsed drift", func(m *Manager) { m.gpuUsed++ }},
+		{"pinUsed drift", func(m *Manager) { m.pinUsed = mb }},
+		{"stale residents index", func(m *Manager) {
+			m.residents[0].resIdx = len(m.residents) - 1
+			m.residents[len(m.residents)-1].resIdx = 0
+		}},
+		{"residents list truncated", func(m *Manager) { m.residents = m.residents[:len(m.residents)-1] }},
+		{"capacity overrun", func(m *Manager) {
+			m.cfg.GPUBytes = m.gpuUsed - 1
+		}},
+		{"stashed eviction-order violation", func(m *Manager) {
+			m.auditErr = fmt.Errorf("stashed")
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			m := build(t)
+			c.do(m)
+			if err := m.CheckInvariants(); err == nil {
+				t.Fatal("corruption went undetected")
+			}
+		})
 	}
 }
 

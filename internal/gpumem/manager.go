@@ -31,6 +31,11 @@ type Config struct {
 	D2HBps         float64
 	// Policy chooses eviction victims; nil defaults to LRU.
 	Policy Policy
+	// Audit verifies every makeRoom call's eviction order (victims
+	// sorted by descending policy score, seq ascending on ties, the
+	// working set exempt). The first violation is reported by
+	// CheckInvariants. Read-only: auditing never changes behaviour.
+	Audit bool
 }
 
 func (c *Config) fillDefaults() {
@@ -110,6 +115,10 @@ type Manager struct {
 	// Running per-type reuse means feed the priority policy's R_c.
 	typeSum map[ReuseClass]float64
 	typeN   map[ReuseClass]int
+
+	// auditErr holds the first eviction-order violation found under
+	// Config.Audit (see CheckInvariants).
+	auditErr error
 }
 
 type scoredEntry struct {
@@ -393,6 +402,9 @@ func (m *Manager) makeRoom(now simtime.Instant, bytes int64) (simtime.Duration, 
 		}
 	})
 	m.scratch = candidates // keep the grown buffer for the next call
+	if m.cfg.Audit {
+		m.auditEvictionOrder(candidates)
+	}
 	nVictims := 0
 	freed := int64(0)
 	for _, c := range candidates {

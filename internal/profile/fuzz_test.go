@@ -1,0 +1,73 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"adainf/internal/app"
+)
+
+// FuzzCacheKey fuzzes the on-disk profile cache's identity function.
+// The cache deduplicates expensive offline profiling runs, so the key
+// must be deterministic, and any configuration knob that changes what
+// BuildAppProfile measures must change the key — a collision would
+// silently serve a profile built under different conditions.
+func FuzzCacheKey(f *testing.F) {
+	f.Add(int64(100*time.Millisecond), int64(1<<30), 32, 64)
+	f.Add(int64(50*time.Millisecond), int64(0), 8, 500)
+	f.Add(int64(1*time.Second), int64(1<<20), 1, 1)
+	f.Fuzz(func(t *testing.T, sloNS, pin int64, rbatch, rsamples int) {
+		// Constrain to the space of valid configurations: fillDefaults
+		// replaces non-positive knobs, which legitimately aliases keys.
+		if sloNS <= 0 || sloNS > int64(10*time.Second) {
+			return
+		}
+		if pin < 0 || pin > 1<<40 {
+			return
+		}
+		if rbatch < 1 || rbatch > 1024 || rsamples < 1 || rsamples > 1<<20 {
+			return
+		}
+		a := app.VideoSurveillance()
+		a.SLO = time.Duration(sloNS)
+		cfg := Config{PinBytes: pin, RetrainBatch: rbatch, RetrainSamples: rsamples}
+
+		key := CacheKey(a, cfg)
+		if key == "" {
+			t.Fatal("empty cache key")
+		}
+		if again := CacheKey(a, cfg); again != key {
+			t.Fatalf("CacheKey not deterministic:\n%q\n%q", key, again)
+		}
+		if cachePath("d", key) != cachePath("d", key) {
+			t.Fatal("cachePath not deterministic")
+		}
+
+		// The audit knob never changes measurements and must not enter
+		// the key (a warm cache satisfies an audited build).
+		audited := cfg
+		audited.Audit = true
+		if CacheKey(a, audited) != key {
+			t.Fatal("Audit changed the cache key")
+		}
+
+		// Knobs that change measurements must change the key.
+		b := app.VideoSurveillance()
+		b.SLO = a.SLO + time.Nanosecond
+		if CacheKey(b, cfg) == key {
+			t.Fatalf("SLO change kept key %q", key)
+		}
+		morePin := cfg
+		morePin.PinBytes = pin + 1
+		if CacheKey(a, morePin) == key {
+			t.Fatal("PinBytes change kept the key")
+		}
+		otherBatch := cfg
+		otherBatch.RetrainBatch = rbatch%1024 + 1
+		if otherBatch.RetrainBatch != rbatch {
+			if CacheKey(a, otherBatch) == key {
+				t.Fatal("RetrainBatch change kept the key")
+			}
+		}
+	})
+}

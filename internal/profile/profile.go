@@ -61,6 +61,11 @@ type Config struct {
 	// RetrainSamples is the sample count per retraining measurement
 	// (default 64).
 	RetrainSamples int
+	// Audit validates every profiled partition's memory accounting and
+	// eviction order after each measurement (gpumem CheckInvariants).
+	// Auditing never changes the built profile, and does not enter the
+	// on-disk cache key — a warm cache satisfies an audited build.
+	Audit bool
 }
 
 func (c *Config) fillDefaults() {
@@ -348,6 +353,7 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 				MemShare: cfg.MemShare,
 				PinBytes: cfg.PinBytes,
 				Policy:   cfg.policy(),
+				Audit:    cfg.Audit,
 			})
 			ex := gpu.NewExecutor(part, cfg.Strategy)
 			task := gpu.InferenceTask{
@@ -370,6 +376,11 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 			fr = append(fr, f)
 			lat = append(lat, math.Max(float64(res.Total()), 1))
 			harvestReuse(part.Mem(), reuseSum, reuseN, digest)
+			if cfg.Audit {
+				if err := part.Mem().CheckInvariants(); err != nil {
+					return nil, fmt.Errorf("profile: %s/%v b=%d f=%g: %w", node.Name, st, batch, f, err)
+				}
+			}
 		}
 		law, err := mathx.FitPowerLaw(fr, lat)
 		if err != nil {
@@ -391,6 +402,7 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 			MemShare: cfg.MemShare,
 			PinBytes: cfg.PinBytes,
 			Policy:   cfg.policy(),
+			Audit:    cfg.Audit,
 		})
 		ex := gpu.NewExecutor(part, cfg.Strategy)
 		res, _, err := ex.RunRetraining(0, gpu.RetrainTask{
@@ -405,6 +417,11 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 		fr = append(fr, f)
 		lat = append(lat, math.Max(float64(per), 1))
 		harvestReuse(part.Mem(), reuseSum, reuseN, digest)
+		if cfg.Audit {
+			if err := part.Mem().CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("profile: %s retraining f=%g: %w", node.Name, f, err)
+			}
+		}
 	}
 	law, err := mathx.FitPowerLaw(fr, lat)
 	if err != nil {

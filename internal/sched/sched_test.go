@@ -121,6 +121,54 @@ func TestBestBatchPrefersProfiledOptimum(t *testing.T) {
 	}
 }
 
+func TestBestBatchSingleBatchProfile(t *testing.T) {
+	// A profile measured at exactly one batch size: the selection loop
+	// degenerates to that batch, and unprofiled batches stay errors.
+	// Two fractions are the minimum for the latency power-law fit.
+	p, err := profile.BuildAppProfile(app.VideoSurveillance(), profile.Config{
+		Strategy:   gpu.Strategy{MaximizeUsage: true},
+		BatchSizes: []int{8},
+		Fractions:  []float64{0.5, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := app.NewInstance(app.VideoSurveillance(), app.InstanceConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := &JobRequest{Instance: inst, Profile: p, Requests: 16}
+	structs := FullStructures(jr)
+	batch, lat, err := BestBatch(jr, structs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch != 8 || lat <= 0 {
+		t.Fatalf("BestBatch = (%d, %v), want the only profiled batch 8", batch, lat)
+	}
+	if _, err := JobWorstCase(jr, structs, 16, 1.0); err == nil {
+		t.Fatal("unprofiled batch 16 accepted")
+	}
+}
+
+func TestBestBatchZeroRequests(t *testing.T) {
+	// Zero predicted requests still yields a profiled batch (callers
+	// guard on Requests > 0, but the primitive must not fail or pick
+	// an unprofiled size).
+	jr := jobReq(t, 0)
+	structs := FullStructures(jr)
+	batch, lat, err := BestBatch(jr, structs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch < 1 {
+		t.Fatalf("batch = %d", batch)
+	}
+	if lat < 0 {
+		t.Fatalf("negative latency %v", lat)
+	}
+}
+
 func TestJobWorstCaseMonotoneInRequests(t *testing.T) {
 	structs := FullStructures(jobReq(t, 1))
 	prev := time.Duration(0)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"adainf/internal/audit"
 	"adainf/internal/eventsim"
 	"adainf/internal/metrics"
 	"adainf/internal/sched"
@@ -66,6 +67,11 @@ type runLoop struct {
 
 	ff *fastForward
 
+	// aud, when non-nil, validates every event against the invariant
+	// catalog (see internal/audit). It is read-only: it never touches
+	// the RNG or simulation state, so metrics stay bit-identical.
+	aud *audit.Auditor
+
 	// err stashes the first failure: engine handlers cannot return
 	// errors, so every handler no-ops once it is set.
 	err error
@@ -97,8 +103,17 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 		l.predicted[i] = make([]int, l.sessionsPerPeriod)
 	}
 	l.work = make([]bool, l.sessionsPerPeriod)
-	if _, ok := cfg.Method.(sched.SteadyStatePlanner); ok {
+	_, steady := cfg.Method.(sched.SteadyStatePlanner)
+	if steady && !cfg.DisableFastForward {
 		l.ff = newFastForward()
+	}
+	if cfg.Audit || cfg.AuditReport != nil {
+		l.aud = audit.New(cfg.AuditReport, audit.Params{
+			GPUs: cfg.GPUs,
+			// Steady-state planners plan from the current share alone,
+			// so their fraction sums audit against it strictly.
+			StrictShare: steady,
+		})
 	}
 	return l
 }
@@ -120,6 +135,12 @@ func (l *runLoop) run() error {
 	if l.ff != nil {
 		l.res.FastForwardHits = l.ff.hits
 	}
+	if l.aud != nil {
+		if err := l.aud.Finish(); err != nil {
+			l.fail(err)
+		}
+		l.res.AuditChecks = l.aud.Checks()
+	}
 	return l.err
 }
 
@@ -138,6 +159,12 @@ func (l *runLoop) periodStart(period int) {
 	if last > l.nSessions-1 {
 		last = l.nSessions - 1
 	}
+	if l.aud != nil {
+		if err := l.aud.OnEvent(cfg.Clock.PeriodStart(period)); err != nil {
+			l.fail(err)
+			return
+		}
+	}
 
 	// Settle the old period before touching its state: completions due
 	// at sessions up to first-1 were already applied by their own
@@ -145,6 +172,17 @@ func (l *runLoop) periodStart(period int) {
 	// pending list never applied it. Applying uses the old poolDists,
 	// so this must precede the map rebuild below.
 	l.drainRetrains(first - 1)
+	if l.err != nil {
+		return
+	}
+	if l.aud != nil {
+		// The old period's retrains are settled and its last work
+		// session has run: its conservation equation closes here.
+		if err := l.aud.BeginPeriod(period); err != nil {
+			l.fail(err)
+			return
+		}
+	}
 	l.retrains = l.retrains[:0]
 	l.heap = l.heap[:0]
 	l.periodFirst, l.periodLast = first, last
@@ -207,6 +245,13 @@ func (l *runLoop) periodStart(period int) {
 				l.work[s] = true
 			}
 		}
+		if l.aud != nil {
+			sum := 0
+			for s := 0; s < n; s++ {
+				sum += arow[s]
+			}
+			l.aud.ExpectArrivals(st.inst.App.Name, sum)
+		}
 	}
 
 	pctx := &sched.PeriodContext{
@@ -229,6 +274,12 @@ func (l *runLoop) periodStart(period int) {
 	l.res.PeriodOverhead = pplan.Overhead
 	l.res.EdgeCloudTransfer = pplan.EdgeCloudTransfer
 	l.res.EdgeCloudBytes = pplan.EdgeCloudBytes
+	if l.aud != nil {
+		if err := l.aud.OnPeriodPlan(pctx, pplan); err != nil {
+			l.fail(err)
+			return
+		}
+	}
 
 	if cfg.Retraining {
 		for i := range pplan.Retrains {
@@ -263,10 +314,17 @@ func (l *runLoop) periodStart(period int) {
 			prev = as
 			as := as
 			l.eng.Schedule(cfg.Clock.SessionStart(as), "retrain",
-				func(simtime.Instant) {
-					if l.err == nil {
-						l.drainRetrains(as)
+				func(at simtime.Instant) {
+					if l.err != nil {
+						return
 					}
+					if l.aud != nil {
+						if err := l.aud.OnEvent(at); err != nil {
+							l.fail(err)
+							return
+						}
+					}
+					l.drainRetrains(as)
 				})
 		}
 	}
@@ -283,6 +341,12 @@ func (l *runLoop) periodStart(period int) {
 func (l *runLoop) drainRetrains(maxSession int) {
 	for len(l.heap) > 0 && l.heap[0].applySession <= maxSession {
 		it := heap.Pop(&l.heap).(retrainItem)
+		if l.aud != nil {
+			if err := l.aud.OnRetrainApply(it.applySession, it.planIdx); err != nil {
+				l.fail(err)
+				return
+			}
+		}
 		l.applyRetrain(it.pr)
 	}
 }
@@ -336,8 +400,17 @@ func (l *runLoop) workSession(sess int) {
 	// Completion events due at this instant fired before this event;
 	// the defensive drain keeps the invariant explicit.
 	l.drainRetrains(sess)
+	if l.err != nil {
+		return
+	}
 	start := cfg.Clock.SessionStart(sess)
 	si := sess - l.periodFirst
+	if l.aud != nil {
+		if err := l.aud.OnEvent(start); err != nil {
+			l.fail(err)
+			return
+		}
+	}
 
 	// GPU claimed by still-running whole-pool retrains, summed in plan
 	// order (floating-point addition order matters for bit-identity).
@@ -402,6 +475,12 @@ func (l *runLoop) workSession(sess int) {
 		// Report the method's solve cost, not a cache hit's zero.
 		l.res.SessionOverhead = plan.Overhead
 	}
+	if l.aud != nil {
+		if err := l.aud.OnSessionPlan(ctx, plan); err != nil {
+			l.fail(err)
+			return
+		}
+	}
 
 	var memo *sessionMemo
 	if capture {
@@ -418,6 +497,13 @@ func (l *runLoop) workSession(sess int) {
 		if err != nil {
 			l.fail(err)
 			return
+		}
+		if l.aud != nil {
+			// Same SLO comparison runJob scored the requests with.
+			if err := l.aud.OnServed(st.inst.App.Name, l.actual[i][si], dur <= st.inst.App.SLO); err != nil {
+				l.fail(err)
+				return
+			}
 		}
 		mutated = mutated || mut
 		if dur > sessionMakespan {
@@ -446,6 +532,12 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant) {
 	}
 	for i := range m.jobs {
 		j := &m.jobs[i]
+		if l.aud != nil {
+			if err := l.aud.OnServed(j.st.inst.App.Name, j.actual, j.met); err != nil {
+				l.fail(err)
+				return
+			}
+		}
 		l.rec.RecordJob(j.inferTotal, 0)
 		l.rec.RecordBusy(start.Add(j.lead), start.Add(j.latency), j.fraction)
 		l.res.Jobs++

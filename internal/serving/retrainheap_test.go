@@ -15,6 +15,7 @@ func TestApplySessionOf(t *testing.T) {
 		want       int
 	}{
 		{0, 0},
+		{-3 * time.Millisecond, 0},  // negative completion clamps to session 0
 		{1 * time.Millisecond, 1},   // mid-session rounds up
 		{5 * time.Millisecond, 1},   // exact boundary applies at that session
 		{5*time.Millisecond + 1, 2}, // one tick past rounds up again

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"adainf/internal/app"
+	"adainf/internal/audit"
 	"adainf/internal/dist"
 	"adainf/internal/dnn"
 	"adainf/internal/gpu"
@@ -68,6 +69,23 @@ type Config struct {
 	Profiles map[string]*profile.AppProfile
 	// PredictAlpha is the request predictor's EWMA factor (default 0.4).
 	PredictAlpha float64
+	// Audit enables the runtime invariant auditor (internal/audit):
+	// every session plan, retrain application, and period's request
+	// accounting is validated against the §3.3/§3.4 invariants. The
+	// auditor is read-only, so audited runs produce bit-identical
+	// metrics. With a nil AuditReport the first violation fails the
+	// run. When the run builds its own profiles (Profiles == nil),
+	// profiling also runs under the GPU-memory invariant checks —
+	// unless a warm on-disk cache satisfies the build.
+	Audit bool
+	// AuditReport, when non-nil, enables auditing in accumulate mode:
+	// violations collect here and the run completes. Implies Audit.
+	AuditReport *audit.Report
+	// DisableFastForward forces full planning and execution of every
+	// work session, even for steady-state planners. Metrics are
+	// identical either way (the metamorphic-test knob for the
+	// fast-forward memo; also a debugging aid).
+	DisableFastForward bool
 	// Debug prints per-period per-node adaptation state to stdout.
 	Debug bool
 }
@@ -145,6 +163,10 @@ type Result struct {
 	// (diagnostic; identical runs produce identical metrics whether a
 	// session replayed or executed).
 	FastForwardHits int
+
+	// AuditChecks counts the invariant evaluations the auditor
+	// performed (zero when auditing was disabled).
+	AuditChecks int
 }
 
 // appState is the runtime bundle per application.
@@ -195,6 +217,21 @@ func BuildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.
 // cacheDir profiles from scratch.
 func BuildProfilesCached(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
 	cacheDir string) (map[string]*profile.AppProfile, error) {
+	return buildProfiles(apps, strat, newPolicy, cacheDir, false)
+}
+
+// BuildProfilesAudited is BuildProfilesCached with the GPU-memory
+// invariant checks enabled during profiling (profile.Config.Audit).
+// Audited and unaudited builds produce identical profiles and share
+// the same on-disk cache keys; a warm cache satisfies the build
+// without re-running (or re-auditing) the measurements.
+func BuildProfilesAudited(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
+	cacheDir string) (map[string]*profile.AppProfile, error) {
+	return buildProfiles(apps, strat, newPolicy, cacheDir, true)
+}
+
+func buildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
+	cacheDir string, auditMem bool) (map[string]*profile.AppProfile, error) {
 
 	out := make(map[string]*profile.AppProfile, len(apps))
 	byBase := make(map[string]*profile.AppProfile)
@@ -209,6 +246,7 @@ func BuildProfilesCached(apps []*app.App, strat gpu.Strategy, newPolicy func() g
 		p, err := profile.BuildAppProfileCached(a, profile.Config{
 			Strategy:  strat,
 			NewPolicy: newPolicy,
+			Audit:     auditMem,
 		}, cacheDir)
 		if err != nil {
 			return nil, err
@@ -237,7 +275,8 @@ func Run(cfg Config) (*Result, error) {
 	profiles := cfg.Profiles
 	if profiles == nil {
 		var err error
-		profiles, err = BuildProfiles(cfg.Apps, cfg.MemStrategy, cfg.NewPolicy)
+		profiles, err = buildProfiles(cfg.Apps, cfg.MemStrategy, cfg.NewPolicy, "",
+			cfg.Audit || cfg.AuditReport != nil)
 		if err != nil {
 			return nil, err
 		}

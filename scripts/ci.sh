@@ -21,12 +21,20 @@ echo "== go test =="
 go test ./...
 
 # The race detector covers the concurrent pieces: the experiment
-# worker pool, the shared profile cache, the event engine, and the
-# serving loop that consumes scheduler plans. -short skips the
-# multi-minute determinism sweeps; the full suite above already runs
-# them race-free.
-echo "== go test -race (experiments, serving, eventsim, core) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/...
+# worker pool, the shared profile cache, the event engine, the
+# serving loop that consumes scheduler plans, and the memory manager
+# and auditor those runs exercise. -short skips the multi-minute
+# determinism sweeps; the full suite above already runs them
+# race-free.
+echo "== go test -race (experiments, serving, eventsim, core, gpumem, audit) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/... ./internal/gpumem/... ./internal/audit/...
+
+# Fuzz smoke: a few seconds per target catches regressions in the
+# properties the fuzz corpora pin (regression-fit robustness, profile
+# cache-key identity). One target per invocation, as go test requires.
+echo "== fuzz smoke =="
+go test -run='^$' -fuzz=FuzzFitScaling -fuzztime=5s ./internal/mathx
+go test -run='^$' -fuzz=FuzzCacheKey -fuzztime=5s ./internal/profile
 
 # Quick bench smoke: regenerate the three benchmark artifacts and fail
 # on a >20% wall-clock regression vs results/BENCH_baseline.json.
