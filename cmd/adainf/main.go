@@ -25,6 +25,7 @@ import (
 	"adainf/internal/mathx"
 	"adainf/internal/sched"
 	"adainf/internal/serving"
+	"adainf/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +39,14 @@ func main() {
 		pool       = flag.Int("pool", 8000, "retraining pool per model per period")
 		alpha      = flag.Float64("alpha", 0.4, "priority-eviction weight α (§3.4.2)")
 		verbose    = flag.Bool("v", false, "print per-period series")
+		tracePath  = flag.String("trace", "", "write the JSONL decision trace to this file (see DESIGN.md §10)")
+		chromePath = flag.String("trace-chrome", "", "also convert the trace to a Chrome trace_event file for chrome://tracing or Perfetto (requires -trace)")
+		histOn     = flag.Bool("hist", false, "collect latency histograms and report p50/p90/p99/p99.9")
 	)
 	flag.Parse()
+	if *chromePath != "" && *tracePath == "" {
+		fatal(fmt.Errorf("-trace-chrome requires -trace"))
+	}
 
 	apps, err := app.CatalogN(*nApps)
 	if err != nil {
@@ -58,6 +65,21 @@ func main() {
 	}
 	fmt.Printf("profiles ready in %v; simulating %v of serving...\n", time.Since(start).Round(time.Millisecond), *horizon)
 
+	var (
+		tel       *telemetry.Collector
+		traceFile *os.File
+	)
+	if *histOn || *tracePath != "" {
+		topt := telemetry.Options{Hist: *histOn}
+		if *tracePath != "" {
+			if traceFile, err = os.Create(*tracePath); err != nil {
+				fatal(err)
+			}
+			topt.Trace = traceFile
+		}
+		tel = telemetry.New(topt)
+	}
+
 	start = time.Now()
 	res, err := serving.Run(serving.Config{
 		Apps:               apps,
@@ -72,9 +94,18 @@ func main() {
 		NewPolicy:          policy,
 		PoolSamples:        *pool,
 		Profiles:           profiles,
+		Telemetry:          tel,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		fatal(fmt.Errorf("trace: %w", err))
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("\n%s on %g GPUs, %d apps, %.0f req/s/app, %v horizon (wall %v)\n",
@@ -89,12 +120,53 @@ func main() {
 		fmt.Printf("  edge-cloud:      %.1f GB in %.1fs per period\n",
 			float64(res.EdgeCloudBytes)/1e9, res.EdgeCloudTransfer.Seconds())
 	}
+	if *histOn {
+		fmt.Println("\nlatency quantiles (ms):")
+		printSummary("inference", res.InferLatency)
+		printSummary("retraining", res.RetrainLatency)
+		printSummary("queueing", res.QueueDelay)
+	}
+	if *tracePath != "" {
+		fmt.Printf("\ntrace written to %s\n", *tracePath)
+		if *chromePath != "" {
+			if err := exportChrome(*tracePath, *chromePath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *chromePath)
+		}
+	}
 	if *verbose {
 		fmt.Println("\nper-period accuracy:")
 		for p, a := range res.PeriodAccuracy {
 			fmt.Printf("  period %2d: %.3f\n", p, a)
 		}
 	}
+}
+
+func printSummary(name string, s telemetry.Summary) {
+	if s.Count == 0 {
+		fmt.Printf("  %-11s (no samples)\n", name)
+		return
+	}
+	fmt.Printf("  %-11s p50 %8.3f  p90 %8.3f  p99 %8.3f  p99.9 %8.3f  max %8.3f  (n=%d)\n",
+		name, s.P50Ms, s.P90Ms, s.P99Ms, s.P999Ms, s.MaxMs, s.Count)
+}
+
+func exportChrome(tracePath, chromePath string) error {
+	in, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(chromePath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.ExportChrome(in, out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func buildMethod(name string, alpha float64) (sched.Method, gpu.Strategy, func() gpumem.Policy, bool, bool, error) {

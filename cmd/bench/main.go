@@ -68,6 +68,10 @@ func main() {
 		profDir = flag.String("profile-cache", "", "directory for cached offline profiles (empty = rebuild every run)")
 		auditOn = flag.Bool("audit", false,
 			"validate every simulation against the paper's invariants (fail-fast; adds auditor overhead to the measurement)")
+		histOn = flag.Bool("hist", false,
+			"collect latency histograms per arm (adds telemetry overhead to the measurement)")
+		traceDir = flag.String("trace", "",
+			"write one JSONL decision trace per arm into this directory (adds trace-write overhead to the measurement)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering all artifacts to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the last artifact to this file")
 		failAbove  = flag.Float64("fail-above", 0,
@@ -100,7 +104,7 @@ func main() {
 	for _, a := range artifacts {
 		r, err := measure(a.fn, experiments.Options{
 			Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
-			Audit: *auditOn,
+			Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n", a.name, err)

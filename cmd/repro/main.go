@@ -56,6 +56,10 @@ func main() {
 			"validate every simulation against the paper's invariants (fail-fast; metrics are bit-identical either way)")
 		profDir = flag.String("profile-cache", "results/profiles",
 			"directory for cached offline profiles (empty = rebuild every run; delete the directory to clear)")
+		histOn = flag.Bool("hist", false,
+			"collect latency histograms per arm; latency tables gain p50/p99/p99.9 columns (metrics are bit-identical either way)")
+		traceDir = flag.String("trace", "",
+			"write one JSONL decision trace per simulation arm into this directory (validate/convert with tracecheck)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -70,6 +74,7 @@ func main() {
 	opts := experiments.Options{
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
 		Workers: *parallel, ProfileCache: *profDir, Audit: *auditOn,
+		Hist: *histOn, TraceDir: *traceDir,
 	}
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {

@@ -1,0 +1,104 @@
+// Command tracecheck validates a JSONL decision trace emitted by
+// -trace (see internal/telemetry and DESIGN.md §10) and optionally
+// converts it to a Chrome trace_event file for chrome://tracing or
+// Perfetto. CI runs it over a traced smoke arm to keep the trace
+// schema honest.
+//
+// Usage:
+//
+//	tracecheck [-chrome OUT] [-q] FILE...
+//
+// Exit status is non-zero when any file fails schema validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"adainf/internal/telemetry"
+)
+
+func main() {
+	var (
+		chromeOut = flag.String("chrome", "", "convert the (single) input trace to a Chrome trace_event file")
+		quiet     = flag.Bool("q", false, "suppress per-event-type counts")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-chrome OUT] [-q] FILE...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *chromeOut != "" && len(files) != 1 {
+		fmt.Fprintln(os.Stderr, "tracecheck: -chrome takes exactly one input trace")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range files {
+		counts, err := validate(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		fmt.Printf("%s: ok, %d events\n", path, total)
+		if !*quiet {
+			evs := make([]string, 0, len(counts))
+			for ev := range counts {
+				evs = append(evs, ev)
+			}
+			sort.Strings(evs)
+			for _, ev := range evs {
+				fmt.Printf("  %-16s %d\n", ev, counts[ev])
+			}
+		}
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+
+	if *chromeOut != "" {
+		if err := export(files[0], *chromeOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: chrome trace written\n", *chromeOut)
+	}
+}
+
+func validate(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.Validate(f)
+}
+
+func export(in, out string) error {
+	r, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.ExportChrome(r, w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -82,6 +82,10 @@ const (
 	// RuleConservation: per period per app, arrivals = met + missed
 	// served requests (+ dropped, which is always zero here).
 	RuleConservation = "request-conservation"
+	// RuleUtilization: the raw (unclamped) GPU utilization of every 1 s
+	// window must stay within capacity plus the documented overlap
+	// tolerance; larger overshoot means busy time was double-counted.
+	RuleUtilization = "gpu-utilization"
 )
 
 // Violation is one broken invariant with its structured context.
@@ -161,6 +165,12 @@ type Params struct {
 	// solve window) may carry a sum computed against an earlier,
 	// larger share.
 	StrictShare bool
+	// UtilSlack is the per-overlap tolerance of the OnUtilization
+	// bound max ≤ overlap × (1 + UtilSlack): it absorbs the
+	// min-fraction floor's oversubscription (floor × jobs per
+	// overlapping session) and the EWMA concurrency estimate's lag.
+	// Zero defaults to 0.25.
+	UtilSlack float64
 }
 
 // eps absorbs floating-point rounding in fraction comparisons.
@@ -202,6 +212,9 @@ type Auditor struct {
 func New(report *Report, p Params) *Auditor {
 	if p.MinFraction == 0 {
 		p.MinFraction = 0.02
+	}
+	if p.UtilSlack == 0 {
+		p.UtilSlack = 0.25
 	}
 	a := &Auditor{p: p, report: report, period: -1, apps: make(map[string]*tally)}
 	if report == nil {
@@ -331,6 +344,35 @@ func (a *Auditor) closePeriod() error {
 // Finish settles the final period. Call once after the run completes.
 func (a *Auditor) Finish() error {
 	return a.closePeriod()
+}
+
+// OnUtilization settles the run's GPU busy-time accounting against the
+// raw overshoot the metrics recorder surfaces (max and windows from
+// metrics.Recorder.UtilizationOvershoot; call once after the run).
+//
+// Utilization above 1 is not itself a violation: a session whose
+// makespan overruns its slot overlaps the following sessions' busy
+// time, so an overloaded server legitimately oversubscribes. What
+// bounds the raw utilization is the overlap itself — at any instant at
+// most `overlap` session spans are active (the caller derives it from
+// the longest observed job span), and each contributes at most the
+// audited per-session share sum. The sound invariant is therefore
+// max ≤ overlap × (1 + UtilSlack): tight (1 + UtilSlack) for runs
+// whose sessions never overlap, degrading exactly in proportion to the
+// mechanism that produces legitimate overshoot. Busy-time
+// double-counting breaks it in the common, underloaded case.
+func (a *Auditor) OnUtilization(max float64, windows, overlap int) error {
+	if overlap < 1 {
+		overlap = 1
+	}
+	bound := float64(overlap) * (1 + a.p.UtilSlack)
+	return a.check(max <= bound+eps, func() Violation {
+		return Violation{
+			Rule: RuleUtilization, Period: a.period, Session: -1,
+			Detail: fmt.Sprintf("max raw utilization %g (%d window(s) over 1) exceeds %d overlapping spans × (1+%g) = %g",
+				max, windows, overlap, a.p.UtilSlack, bound),
+		}
+	})
 }
 
 // OnRetrainApply observes one retrain application popped from the

@@ -379,3 +379,30 @@ func TestCleanReport(t *testing.T) {
 		t.Fatalf("clean report errored: %v", rep.Err())
 	}
 }
+
+func TestUtilizationOvershoot(t *testing.T) {
+	a := New(nil, Params{GPUs: 4}) // UtilSlack defaults to 0.25
+	// No overlapping spans: the bound is a tight 1 + slack.
+	if err := a.OnUtilization(1.2, 3, 1); err != nil {
+		t.Fatalf("overshoot within tolerance flagged: %v", err)
+	}
+	if got := ruleOf(t, a.OnUtilization(1.3, 1, 1)); got != RuleUtilization {
+		t.Fatalf("rule = %q, want %q", got, RuleUtilization)
+	}
+	// Overlapping spans relax the bound proportionally: 5 spans allow
+	// up to 5 × 1.25 = 6.25.
+	if err := a.OnUtilization(5.03, 100, 5); err != nil {
+		t.Fatalf("overloaded-server overshoot flagged: %v", err)
+	}
+	if got := ruleOf(t, a.OnUtilization(6.3, 100, 5)); got != RuleUtilization {
+		t.Fatalf("rule = %q, want %q", got, RuleUtilization)
+	}
+	// A non-positive overlap is clamped to one span.
+	if got := ruleOf(t, a.OnUtilization(1.3, 1, 0)); got != RuleUtilization {
+		t.Fatalf("rule = %q, want %q", got, RuleUtilization)
+	}
+	tight := New(nil, Params{GPUs: 4, UtilSlack: 0.01})
+	if got := ruleOf(t, tight.OnUtilization(1.2, 3, 1)); got != RuleUtilization {
+		t.Fatalf("rule = %q, want %q", got, RuleUtilization)
+	}
+}

@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"adainf/internal/sched"
 	"adainf/internal/serving"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // Options tunes experiment scale. The zero value reproduces the default
@@ -56,6 +58,21 @@ type Options struct {
 	// the first violation fails the artifact. Metrics are bit-identical
 	// with auditing on (the auditor is read-only).
 	Audit bool
+	// Hist collects per-arm latency histograms (internal/telemetry):
+	// each arm's serving result carries p50/p90/p99/p99.9 summaries of
+	// inference, retraining, and queueing delay, and artifacts with
+	// latency tables gain tail-percentile columns. Metrics are
+	// bit-identical with histograms on (telemetry is read-only).
+	Hist bool
+	// TraceDir, when non-empty, writes one JSONL decision trace per
+	// unique simulation arm into the directory, named
+	// <artifact>-<arm>-<confighash>.jsonl (validate or convert with
+	// cmd/tracecheck). Like Audit and Hist, tracing never perturbs the
+	// simulation.
+	TraceDir string
+
+	// tracePath is the resolved per-arm trace file, set by runArms.
+	tracePath string
 }
 
 // ProgressEvent reports one completed simulation arm.
@@ -237,7 +254,9 @@ func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool)
 	return e.p, e.err
 }
 
-// run executes one serving simulation with the standard knobs.
+// run executes one serving simulation with the standard knobs. The
+// profiles come from the cross-arm single-flight cache and so are never
+// traced here; per-arm telemetry covers the serving run itself.
 func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 	retrain, divergent bool, mem memoryConfig) (*serving.Result, error) {
 
@@ -245,7 +264,21 @@ func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 	if err != nil {
 		return nil, err
 	}
-	return serving.Run(serving.Config{
+	var (
+		tel *telemetry.Collector
+		f   *os.File
+	)
+	if o.Hist || o.tracePath != "" {
+		topt := telemetry.Options{Hist: o.Hist}
+		if o.tracePath != "" {
+			if f, err = os.Create(o.tracePath); err != nil {
+				return nil, err
+			}
+			topt.Trace = f
+		}
+		tel = telemetry.New(topt)
+	}
+	res, err := serving.Run(serving.Config{
 		Apps:               apps,
 		Method:             m,
 		GPUs:               gpus,
@@ -259,5 +292,18 @@ func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 		PoolSamples:        o.Pool,
 		Profiles:           profs,
 		Audit:              o.Audit,
+		Telemetry:          tel,
 	})
+	if cerr := tel.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("telemetry trace: %w", cerr)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -108,8 +108,11 @@ func Fig4(o Options) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("retraining adds up to %.1f%% accuracy (paper: 0-27%%)", maxGap*100),
+		// Average only over periods that served predictions: a period
+		// with none has no defined updated-model fraction, and counting
+		// its zero would understate the mean.
 		fmt.Sprintf("Ekya updated-model fraction mean %.0f%% (paper: 53-60%%)",
-			mathx.MeanOf(ek.UpdatedModelFraction)*100))
+			mathx.MeanWhere(ek.UpdatedModelFraction, ek.UpdatedModelValid)*100))
 	return res, nil
 }
 
@@ -303,18 +306,37 @@ func Fig20(o Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{ID: "fig20", Title: "Average latency for retraining and inference"}
-	tb := Table{Header: []string{"method", "inference (ms)", "retraining (ms)"}}
+	tb := Table{Header: []string{
+		"method", "inference (ms)", "retraining (ms)",
+		"infer p50 (ms)", "infer p99 (ms)", "infer p99.9 (ms)",
+	}}
 	for i, m := range methods {
+		s := rs[i].InferLatency
 		tb.Rows = append(tb.Rows, []string{
 			m.label,
 			fmt.Sprintf("%.1f", rs[i].MeanInferLatencyMs),
 			fmt.Sprintf("%.1f", rs[i].MeanRetrainLatencyMs),
+			latencyCell(s.Count, s.P50Ms),
+			latencyCell(s.Count, s.P99Ms),
+			latencyCell(s.Count, s.P999Ms),
 		})
 	}
 	res.Tables = append(res.Tables, tb)
 	res.Notes = append(res.Notes,
 		"baselines retrain in whole-period jobs, so their per-job retraining latency is reported as 0; their retraining cost appears in Fig. 7b/Table 1 instead")
+	if !o.Hist {
+		res.Notes = append(res.Notes, "tail percentiles need latency histograms: rerun with -hist")
+	}
 	return res, nil
+}
+
+// latencyCell renders one tail-percentile cell of a latency table; an
+// arm run without Options.Hist has no histograms and renders "-".
+func latencyCell(n uint64, ms float64) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", ms)
 }
 
 // Fig21 reproduces Fig. 21: GPU utilization per second per method.
@@ -370,12 +392,14 @@ func Fig22(o Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{ID: "fig22", Title: "Performance of different variants of AdaInf"}
-	tb := Table{Header: []string{"variant", "accuracy", "finish rate"}}
+	tb := Table{Header: []string{"variant", "accuracy", "finish rate", "infer p99 (ms)"}}
 	for i, m := range variants {
+		s := rs[i].InferLatency
 		tb.Rows = append(tb.Rows, []string{
 			m.label,
 			fmt.Sprintf("%.3f", rs[i].MeanAccuracy),
 			fmt.Sprintf("%.3f", rs[i].MeanFinishRate),
+			latencyCell(s.Count, s.P99Ms),
 		})
 	}
 	res.Tables = append(res.Tables, tb)

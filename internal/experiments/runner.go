@@ -22,7 +22,10 @@
 package experiments
 
 import (
+	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -176,6 +179,11 @@ func collect[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 // simulation; distinct configurations run under per-arm derived seeds.
 func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) {
 	o.fill()
+	if o.TraceDir != "" {
+		if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	// Deduplicate identical configurations, preserving first-seen order.
 	keys := make([]string, len(arms))
 	assign := make([]int, len(arms))
@@ -200,6 +208,9 @@ func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) 
 		ao := o
 		ao.Seed = armSeed(o.Seed, a.workloadKey())
 		label := armLabel(a)
+		if o.TraceDir != "" {
+			ao.tracePath = filepath.Join(o.TraceDir, traceFileName(artifact, label, keys[ai]))
+		}
 		jobs[u] = func() (*serving.Result, error) {
 			r, err := a.m.run(ao, a.apps, a.gpus)
 			if o.Progress != nil && err == nil {
@@ -228,6 +239,29 @@ func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) 
 func armLabel(a *arm) string {
 	return a.m.label + " apps=" + strconv.Itoa(len(a.apps)) +
 		" gpus=" + strconv.FormatFloat(a.gpus, 'g', -1, 64)
+}
+
+// traceFileName names one arm's JSONL decision trace. The arm label is
+// sanitized for the filesystem and suffixed with a hash of the full
+// configuration key, so arms sharing a label (e.g. an alpha sweep's
+// memory variants) never collide on a filename.
+func traceFileName(artifact, label, configKey string) string {
+	var sb strings.Builder
+	sb.WriteString(artifact)
+	sb.WriteByte('-')
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '.', r == '=', r == '-':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(configKey))
+	fmt.Fprintf(&sb, "-%08x.jsonl", uint32(h.Sum64()))
+	return sb.String()
 }
 
 // appSetKey is a stable signature of an application list, used by the

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"adainf/internal/telemetry"
+)
+
+// TestTraceDirPerArm runs a small artifact with tracing on and checks
+// that every unique arm wrote its own schema-valid JSONL trace.
+func TestTraceDirPerArm(t *testing.T) {
+	o := quick()
+	o.TraceDir = t.TempDir()
+	if _, err := Fig4(o); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(o.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4 runs three distinct arms: AdaInf, w/o retraining, Ekya.
+	if len(entries) != 3 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("trace files = %d (%v), want 3", len(entries), names)
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(o.TraceDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := telemetry.Validate(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if counts[telemetry.EvRun] != 1 {
+			t.Errorf("%s: run headers = %d, want 1", e.Name(), counts[telemetry.EvRun])
+		}
+		if counts[telemetry.EvJob] == 0 {
+			t.Errorf("%s: no job spans", e.Name())
+		}
+	}
+}
+
+// TestFig20TailColumnsWithHist checks the latency table's tail
+// percentiles are populated when histograms are on and parse as
+// positive milliseconds ordered p50 ≤ p99 ≤ p99.9.
+func TestFig20TailColumnsWithHist(t *testing.T) {
+	o := quick()
+	o.Hist = true
+	res, err := Fig20(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	col := map[string]int{}
+	for i, h := range tb.Header {
+		col[h] = i
+	}
+	for _, want := range []string{"infer p50 (ms)", "infer p99 (ms)", "infer p99.9 (ms)"} {
+		if _, ok := col[want]; !ok {
+			t.Fatalf("missing column %q in %v", want, tb.Header)
+		}
+	}
+	for _, row := range tb.Rows {
+		p50 := cellMs(t, row[col["infer p50 (ms)"]])
+		p99 := cellMs(t, row[col["infer p99 (ms)"]])
+		p999 := cellMs(t, row[col["infer p99.9 (ms)"]])
+		if p50 <= 0 || p99 < p50 || p999 < p99 {
+			t.Errorf("%s: quantiles out of order: p50=%v p99=%v p99.9=%v", row[0], p50, p99, p999)
+		}
+	}
+}
+
+func cellMs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a latency: %v", cell, err)
+	}
+	return v
+}
+
+func TestLatencyCellWithoutHist(t *testing.T) {
+	if got := latencyCell(0, 0); got != "-" {
+		t.Errorf("latencyCell(0) = %q, want \"-\"", got)
+	}
+	if got := latencyCell(5, 12.34); got != "12.3" {
+		t.Errorf("latencyCell(5, 12.34) = %q, want \"12.3\"", got)
+	}
+}

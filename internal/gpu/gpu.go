@@ -21,6 +21,7 @@ import (
 
 	"adainf/internal/gpumem"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // Spec describes one physical GPU.
@@ -92,6 +93,9 @@ type PartitionConfig struct {
 	// Audit enables the memory manager's eviction-order audit
 	// (gpumem.Config.Audit).
 	Audit bool
+	// Trace forwards the memory manager's eviction events
+	// (gpumem.Config.Trace).
+	Trace *telemetry.Collector
 }
 
 // NewPartition carves fraction ∈ (0, 1] of the device. It panics on an
@@ -119,6 +123,7 @@ func NewPartition(spec Spec, fraction float64, cfg PartitionConfig) *Partition {
 		PinBytes: cfg.PinBytes,
 		Policy:   cfg.Policy,
 		Audit:    cfg.Audit,
+		Trace:    cfg.Trace,
 	})
 	return &Partition{spec: spec, fraction: fraction, mem: mem}
 }

@@ -9,6 +9,7 @@ import (
 
 	"adainf/internal/mathx"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // Default PCIe transfer rates (bytes/second). PIN (page-locked) memory
@@ -36,6 +37,10 @@ type Config struct {
 	// working set exempt). The first violation is reported by
 	// CheckInvariants. Read-only: auditing never changes behaviour.
 	Audit bool
+	// Trace, when non-nil, receives an eviction event per victim
+	// (victim identity, policy score, PIN placement). Read-only
+	// observability: tracing never changes behaviour.
+	Trace *telemetry.Collector
 }
 
 func (c *Config) fillDefaults() {
@@ -427,7 +432,8 @@ func (m *Manager) makeRoom(now simtime.Instant, bytes int64) (simtime.Duration, 
 		m.stats.D2HTime += t
 		m.stats.D2HBytes += v.content.Bytes
 		m.stats.Evictions++
-		if m.pinUsed+v.content.Bytes <= m.cfg.PinBytes {
+		pinned := m.pinUsed+v.content.Bytes <= m.cfg.PinBytes
+		if pinned {
 			v.loc = locPinned
 			m.pinUsed += v.content.Bytes
 			m.stats.PinPlaced++
@@ -436,6 +442,9 @@ func (m *Manager) makeRoom(now simtime.Instant, bytes int64) (simtime.Duration, 
 		}
 		m.gpuUsed -= v.content.Bytes
 		m.residentRemove(v)
+		m.cfg.Trace.Evict(now, v.content.ID.App, v.content.ID.Model,
+			int(v.content.ID.Layer), int(v.content.ID.Kind),
+			v.content.Bytes, candidates[i].score, pinned)
 	}
 	return comm, true
 }

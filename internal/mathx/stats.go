@@ -56,6 +56,26 @@ func MeanOf(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// MeanWhere returns the mean of the entries whose mask is true, or 0
+// when none are. It panics when the slices differ in length.
+func MeanWhere(xs []float64, mask []bool) float64 {
+	if len(xs) != len(mask) {
+		panic("mathx: MeanWhere length mismatch")
+	}
+	var sum float64
+	n := 0
+	for i, x := range xs {
+		if mask[i] {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It panics on empty input or p
 // outside [0, 100].

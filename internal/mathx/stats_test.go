@@ -165,3 +165,20 @@ func TestPercentileMatchesSortedOrderStatistics(t *testing.T) {
 		}
 	}
 }
+
+func TestMeanWhere(t *testing.T) {
+	xs := []float64{1, 100, 3, 100}
+	mask := []bool{true, false, true, false}
+	if got := MeanWhere(xs, mask); got != 2 {
+		t.Fatalf("MeanWhere = %v, want 2", got)
+	}
+	if got := MeanWhere(xs, []bool{false, false, false, false}); got != 0 {
+		t.Fatalf("all-masked MeanWhere = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MeanWhere(xs, mask[:2])
+}

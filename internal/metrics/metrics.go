@@ -35,7 +35,35 @@ type Recorder struct {
 	retrainTimeS   []float64
 	retrainSamples []int
 	poolSamples    []int
+
+	// overflow collects events stamped outside [0, horizon): they are
+	// excluded from every per-period/per-window series (clamping them
+	// into the last bucket would silently pollute its accuracy, finish
+	// rate, and utilization) but still count toward the aggregate
+	// means, which must conserve every request.
+	overflow Overflow
 }
+
+// Overflow aggregates the events that landed outside the recorder's
+// horizon (e.g. a retraining completing past the last period). The
+// per-period and per-window series exclude them; the aggregate means
+// include them.
+type Overflow struct {
+	// Predictions/Correct/Updated are out-of-horizon leaf predictions.
+	Predictions, Correct, Updated int
+	// Arrived/Finished are out-of-horizon request SLO outcomes.
+	Arrived, Finished int
+	// RetrainTimeS and RetrainSamples are out-of-horizon retraining
+	// effort.
+	RetrainTimeS   float64
+	RetrainSamples int
+	// BusyGPUSeconds is GPU busy time accrued beyond the last 1 s
+	// utilization window.
+	BusyGPUSeconds float64
+}
+
+// Overflow returns the out-of-horizon event totals.
+func (r *Recorder) Overflow() Overflow { return r.overflow }
 
 // NewRecorder sizes the metric buckets for a run of the given horizon.
 func NewRecorder(horizon, period simtime.Duration, gpus float64) *Recorder {
@@ -60,24 +88,23 @@ func NewRecorder(horizon, period simtime.Duration, gpus float64) *Recorder {
 	}
 }
 
+// periodIndex maps t to its period bucket, or -1 when t falls outside
+// the horizon (the caller routes those to the overflow bucket rather
+// than polluting the last period).
 func (r *Recorder) periodIndex(t simtime.Instant) int {
 	i := int(t.Duration() / r.period)
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(r.correct) {
-		i = len(r.correct) - 1
+	if i < 0 || i >= len(r.correct) {
+		return -1
 	}
 	return i
 }
 
+// secondIndex maps t to its 1 s window, or -1 when t falls outside the
+// recorded windows.
 func (r *Recorder) secondIndex(t simtime.Instant) int {
 	i := int(t.Duration() / time.Second)
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(r.finished) {
-		i = len(r.finished) - 1
+	if i < 0 || i >= len(r.finished) {
+		return -1
 	}
 	return i
 }
@@ -85,6 +112,16 @@ func (r *Recorder) secondIndex(t simtime.Instant) int {
 // RecordPrediction records one leaf-model prediction of a request.
 func (r *Recorder) RecordPrediction(t simtime.Instant, correct, usedUpdatedModel bool) {
 	p := r.periodIndex(t)
+	if p < 0 {
+		r.overflow.Predictions++
+		if correct {
+			r.overflow.Correct++
+		}
+		if usedUpdatedModel {
+			r.overflow.Updated++
+		}
+		return
+	}
 	r.total[p]++
 	if correct {
 		r.correct[p]++
@@ -98,6 +135,13 @@ func (r *Recorder) RecordPrediction(t simtime.Instant, correct, usedUpdatedModel
 // window.
 func (r *Recorder) RecordRequest(arrival simtime.Instant, metSLO bool) {
 	w := r.secondIndex(arrival)
+	if w < 0 {
+		r.overflow.Arrived++
+		if metSLO {
+			r.overflow.Finished++
+		}
+		return
+	}
 	r.arrived[w]++
 	if metSLO {
 		r.finished[w]++
@@ -113,12 +157,37 @@ func (r *Recorder) RecordJob(inferLat, retrainLat simtime.Duration) {
 }
 
 // RecordBusy accounts GPU occupancy: amount GPUs busy during [from, to).
+// The span is prorated across the 1 s windows it overlaps; any part
+// outside the recorded windows accrues to the overflow bucket instead
+// of a clamped window.
 func (r *Recorder) RecordBusy(from, to simtime.Instant, amount float64) {
 	if !to.After(from) || amount <= 0 {
 		return
 	}
-	for w := r.secondIndex(from); w <= r.secondIndex(to) && w < len(r.busyPerS); w++ {
+	end := simtime.Instant(time.Duration(len(r.busyPerS)) * time.Second)
+	if to.After(end) {
+		lo := from
+		if end.After(lo) {
+			lo = end
+		}
+		r.overflow.BusyGPUSeconds += to.Sub(lo).Seconds() * amount
+	}
+	if from.Before(0) {
+		hi := to
+		if hi.After(0) {
+			hi = 0
+		}
+		r.overflow.BusyGPUSeconds += hi.Sub(from).Seconds() * amount
+	}
+	wFrom := int(from.Duration() / time.Second)
+	if wFrom < 0 {
+		wFrom = 0
+	}
+	for w := wFrom; w < len(r.busyPerS); w++ {
 		bucketStart := simtime.Instant(time.Duration(w) * time.Second)
+		if !to.After(bucketStart) {
+			break
+		}
 		bucketEnd := bucketStart.Add(time.Second)
 		lo, hi := from, to
 		if bucketStart.After(lo) {
@@ -134,9 +203,16 @@ func (r *Recorder) RecordBusy(from, to simtime.Instant, amount float64) {
 }
 
 // RecordRetrainEffort accounts retraining time and samples of a period
-// (Fig. 7b).
+// (Fig. 7b). Effort stamped outside the horizon (e.g. a retraining
+// completing past the last period) lands in the overflow bucket, not
+// the last period's series.
 func (r *Recorder) RecordRetrainEffort(t simtime.Instant, d simtime.Duration, samples int) {
 	p := r.periodIndex(t)
+	if p < 0 {
+		r.overflow.RetrainTimeS += d.Seconds()
+		r.overflow.RetrainSamples += samples
+		return
+	}
 	r.retrainTimeS[p] += d.Seconds()
 	r.retrainSamples[p] += samples
 }
@@ -161,9 +237,11 @@ func (r *Recorder) PeriodAccuracy() []float64 {
 	return out
 }
 
-// MeanAccuracy returns the overall accuracy across periods with data.
+// MeanAccuracy returns the overall accuracy across every prediction,
+// including out-of-horizon overflow (the aggregate must conserve every
+// request).
 func (r *Recorder) MeanAccuracy() float64 {
-	var c, t int
+	c, t := r.overflow.Correct, r.overflow.Predictions
 	for i := range r.total {
 		c += r.correct[i]
 		t += r.total[i]
@@ -176,6 +254,8 @@ func (r *Recorder) MeanAccuracy() float64 {
 
 // UpdatedModelFraction returns, per period, the fraction of
 // predictions that used a model retrained within the period (Fig. 4b).
+// Periods with no predictions report 0; aggregate over the series with
+// PeriodsWithPredictions so empty periods do not dilute the mean.
 func (r *Recorder) UpdatedModelFraction() []float64 {
 	out := make([]float64, len(r.total))
 	for i := range out {
@@ -186,8 +266,21 @@ func (r *Recorder) UpdatedModelFraction() []float64 {
 	return out
 }
 
-// FinishRateWindows returns the finish rate of each 1 s window with
-// arrivals.
+// PeriodsWithPredictions returns the validity mask of the per-period
+// series (PeriodAccuracy, UpdatedModelFraction): true where the period
+// observed at least one prediction.
+func (r *Recorder) PeriodsWithPredictions() []bool {
+	out := make([]bool, len(r.total))
+	for i := range out {
+		out[i] = r.total[i] > 0
+	}
+	return out
+}
+
+// FinishRateWindows returns the finish rate of each 1 s window.
+// Windows without arrivals report 0 and carry no information;
+// aggregate over the series with WindowsWithArrivals so they do not
+// dilute the mean (MeanFinishRate already weights by arrivals).
 func (r *Recorder) FinishRateWindows() []float64 {
 	out := make([]float64, len(r.arrived))
 	for i := range out {
@@ -198,9 +291,20 @@ func (r *Recorder) FinishRateWindows() []float64 {
 	return out
 }
 
-// MeanFinishRate returns the overall finish rate.
+// WindowsWithArrivals returns the validity mask of FinishRateWindows:
+// true where the window observed at least one arrival.
+func (r *Recorder) WindowsWithArrivals() []bool {
+	out := make([]bool, len(r.arrived))
+	for i := range out {
+		out[i] = r.arrived[i] > 0
+	}
+	return out
+}
+
+// MeanFinishRate returns the overall finish rate across every request,
+// including out-of-horizon overflow.
 func (r *Recorder) MeanFinishRate() float64 {
-	var f, a int
+	f, a := r.overflow.Finished, r.overflow.Arrived
 	for i := range r.arrived {
 		f += r.finished[i]
 		a += r.arrived[i]
@@ -212,6 +316,9 @@ func (r *Recorder) MeanFinishRate() float64 {
 }
 
 // UtilizationPerSecond returns GPU utilization ∈ [0, 1] per second.
+// Windows whose accounted busy time exceeds capacity are clamped to 1
+// in the series; the raw overshoot is surfaced by
+// UtilizationOvershoot so over-accounting is never silently hidden.
 func (r *Recorder) UtilizationPerSecond() []float64 {
 	out := make([]float64, len(r.busyPerS))
 	for i, b := range r.busyPerS {
@@ -222,6 +329,22 @@ func (r *Recorder) UtilizationPerSecond() []float64 {
 		out[i] = u
 	}
 	return out
+}
+
+// UtilizationOvershoot reports busy-time over-accounting: the maximum
+// raw (unclamped) utilization across the 1 s windows and how many
+// windows exceeded 1. A max of 0 means no window had any busy time.
+func (r *Recorder) UtilizationOvershoot() (max float64, windows int) {
+	for _, b := range r.busyPerS {
+		u := b / r.gpus
+		if u > max {
+			max = u
+		}
+		if u > 1 {
+			windows++
+		}
+	}
+	return max, windows
 }
 
 // MeanInferLatencyMs returns the mean job inference latency.

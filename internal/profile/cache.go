@@ -232,8 +232,10 @@ func BuildAppProfileCached(a *app.App, cfg Config, dir string) (*AppProfile, err
 		return BuildAppProfile(a, cfg)
 	}
 	if ap, ok := LoadCached(dir, a, cfg); ok {
+		cfg.Telemetry.Cache(a.Name, true)
 		return ap, nil
 	}
+	cfg.Telemetry.Cache(a.Name, false)
 	ap, err := BuildAppProfile(a, cfg)
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 	"adainf/internal/gpumem"
 	"adainf/internal/mathx"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // DefaultBatchSizes is the batch grid the paper sweeps (Figs. 8–10).
@@ -66,6 +67,11 @@ type Config struct {
 	// Auditing never changes the built profile, and does not enter the
 	// on-disk cache key — a warm cache satisfies an audited build.
 	Audit bool
+	// Telemetry, when non-nil, receives eviction events from the
+	// profiled partitions and cache hit/miss events from cached builds.
+	// Pure observability: it never changes the built profile and does
+	// not enter the on-disk cache key.
+	Telemetry *telemetry.Collector
 }
 
 func (c *Config) fillDefaults() {
@@ -354,6 +360,7 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 				PinBytes: cfg.PinBytes,
 				Policy:   cfg.policy(),
 				Audit:    cfg.Audit,
+				Trace:    cfg.Telemetry,
 			})
 			ex := gpu.NewExecutor(part, cfg.Strategy)
 			task := gpu.InferenceTask{
@@ -403,6 +410,7 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 			PinBytes: cfg.PinBytes,
 			Policy:   cfg.policy(),
 			Audit:    cfg.Audit,
+			Trace:    cfg.Telemetry,
 		})
 		ex := gpu.NewExecutor(part, cfg.Strategy)
 		res, _, err := ex.RunRetraining(0, gpu.RetrainTask{

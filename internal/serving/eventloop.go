@@ -13,6 +13,7 @@ import (
 	"adainf/internal/metrics"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // runLoop drives one serving simulation on the discrete-event engine.
@@ -53,6 +54,12 @@ type runLoop struct {
 	ewmaTa time.Duration
 	ctx    *sched.SessionContext
 
+	// maxSpan is the longest job span (session start to completion,
+	// lead included) observed so far. It bounds how many session spans
+	// can overlap one instant, which in turn bounds legitimate raw GPU
+	// utilization — see audit.OnUtilization.
+	maxSpan simtime.Duration
+
 	// Period-scoped state, rebuilt by each periodStart.
 	periodFirst int
 	periodLast  int
@@ -72,6 +79,11 @@ type runLoop struct {
 	// the RNG or simulation state, so metrics stay bit-identical.
 	aud *audit.Auditor
 
+	// tel is the run's telemetry collector (nil no-op by default).
+	// Like the auditor it is strictly read-only: a traced run produces
+	// bit-identical metrics to an untraced one.
+	tel *telemetry.Collector
+
 	// err stashes the first failure: engine handlers cannot return
 	// errors, so every handler no-ops once it is set.
 	err error
@@ -89,6 +101,7 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 		nSessions:         int(cfg.Horizon / cfg.Clock.Session),
 		sessionsPerPeriod: cfg.Clock.SessionsPerPeriod(),
 		ewmaTa:            50 * time.Millisecond,
+		tel:               cfg.Telemetry,
 		ctx: &sched.SessionContext{
 			Jobs: make([]sched.JobRequest, 0, len(states)),
 		},
@@ -139,8 +152,14 @@ func (l *runLoop) run() error {
 		if err := l.aud.Finish(); err != nil {
 			l.fail(err)
 		}
+		over, windows := l.rec.UtilizationOvershoot()
+		overlap := int(l.maxSpan/l.cfg.Clock.Session) + 1
+		if err := l.aud.OnUtilization(over, windows, overlap); err != nil {
+			l.fail(err)
+		}
 		l.res.AuditChecks = l.aud.Checks()
 	}
+	l.tel.Counters(l.cfg.Clock.SessionStart(l.nSessions))
 	return l.err
 }
 
@@ -183,11 +202,21 @@ func (l *runLoop) periodStart(period int) {
 			return
 		}
 	}
+	start := cfg.Clock.SessionStart(first)
+	if l.tel.Tracing() {
+		// Retrains still pending at the boundary never applied: the
+		// session loop's cleared pending list discarded them.
+		for i := range l.retrains {
+			if pr := &l.retrains[i]; !pr.applied {
+				l.tel.RetrainDiscard(start, pr.App, pr.Node, pr.Samples)
+			}
+		}
+		l.tel.Period(start, period, first, last)
+		l.tel.Counters(start)
+	}
 	l.retrains = l.retrains[:0]
 	l.heap = l.heap[:0]
 	l.periodFirst, l.periodLast = first, last
-
-	start := cfg.Clock.SessionStart(first)
 	if period > 0 {
 		if cfg.Debug {
 			for _, st := range l.states {
@@ -280,6 +309,27 @@ func (l *runLoop) periodStart(period int) {
 			return
 		}
 	}
+	if l.tel.Tracing() {
+		l.tel.PeriodPlan(start, period, len(pplan.Retrains), pplan.Overhead, pplan.EdgeCloudBytes)
+		// Methods that build the retraining-inference DAG expose it
+		// (core.Scheduler does); emit each app's impact degrees.
+		if dp, ok := cfg.Method.(interface{ DagFor(string) *sched.RIDag }); ok {
+			for _, st := range l.states {
+				dag := dp.DagFor(st.inst.App.Name)
+				if dag == nil {
+					continue
+				}
+				for i := range dag.Vertices {
+					v := &dag.Vertices[i]
+					if v.Phase != sched.PhaseRetrain {
+						continue
+					}
+					l.tel.Impact(start, period, st.inst.App.Name, v.Node,
+						v.ImpactDegree, true)
+				}
+			}
+		}
+	}
 
 	if cfg.Retraining {
 		for i := range pplan.Retrains {
@@ -347,6 +397,8 @@ func (l *runLoop) drainRetrains(maxSession int) {
 				return
 			}
 		}
+		l.tel.RetrainApply(it.pr.Completion, it.pr.App, it.pr.Node,
+			it.pr.Samples, it.applySession, it.planIdx)
 		l.applyRetrain(it.pr)
 	}
 }
@@ -445,8 +497,9 @@ func (l *runLoop) workSession(sess int) {
 	if l.ff != nil {
 		key = l.ff.sessionKey(share, l.predicted, l.actual, si, l.states)
 		m, c := l.ff.lookup(key)
+		l.tel.FF(m != nil)
 		if m != nil {
-			l.replay(m, start)
+			l.replay(m, start, sess)
 			return
 		}
 		capture = c
@@ -481,6 +534,13 @@ func (l *runLoop) workSession(sess int) {
 			return
 		}
 	}
+	if l.tel.Tracing() {
+		l.tel.SessionPlan(start, sess, share, plan.Overhead, len(plan.Jobs))
+		for i := range plan.Jobs {
+			jp := &plan.Jobs[i]
+			l.tel.JobPlan(start, sess, jp.App, jp.Fraction, jp.Batch, jp.InferTime, jp.RetrainTime)
+		}
+	}
 
 	var memo *sessionMemo
 	if capture {
@@ -513,6 +573,9 @@ func (l *runLoop) workSession(sess int) {
 	if sessionMakespan > 0 {
 		l.ewmaTa = time.Duration(0.1*float64(sessionMakespan) + 0.9*float64(l.ewmaTa))
 	}
+	if sessionMakespan > l.maxSpan {
+		l.maxSpan = sessionMakespan
+	}
 	if memo != nil && !mutated {
 		// Only mutation-free sessions memoize: a hit must leave the
 		// simulation in exactly the state the full execution would.
@@ -524,8 +587,10 @@ func (l *runLoop) workSession(sess int) {
 // replay re-emits a memoized session's outcome. The recorder calls and
 // RNG draws are issued in exactly the order the full execution issued
 // them; only the per-request random draws run live, keeping the shared
-// RNG stream identical for everything downstream.
-func (l *runLoop) replay(m *sessionMemo, start simtime.Instant) {
+// RNG stream identical for everything downstream. Telemetry job spans
+// are emitted exactly as the full execution would, marked replayed
+// (memoized sessions are mutation-free, so retraining time is zero).
+func (l *runLoop) replay(m *sessionMemo, start simtime.Instant, sess int) {
 	l.ff.hits++
 	if m.overhead > l.res.SessionOverhead {
 		l.res.SessionOverhead = m.overhead
@@ -540,6 +605,8 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant) {
 		}
 		l.rec.RecordJob(j.inferTotal, 0)
 		l.rec.RecordBusy(start.Add(j.lead), start.Add(j.latency), j.fraction)
+		l.tel.Job(start, sess, j.st.inst.App.Name, j.actual,
+			j.lead, j.inferTotal, 0, j.latency, j.met, true)
 		l.res.Jobs++
 		for r := 0; r < j.actual; r++ {
 			l.rec.RecordRequest(start, j.met)
@@ -555,5 +622,8 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant) {
 	}
 	if m.makespan > 0 {
 		l.ewmaTa = time.Duration(0.1*float64(m.makespan) + 0.9*float64(l.ewmaTa))
+	}
+	if m.makespan > l.maxSpan {
+		l.maxSpan = m.makespan
 	}
 }

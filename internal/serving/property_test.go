@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"bytes"
 	"encoding/json"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"adainf/internal/gpumem"
 	"adainf/internal/profile"
 	"adainf/internal/sched"
+	"adainf/internal/telemetry"
 )
 
 // propertyConfig is one randomized trial of the property suite.
@@ -88,14 +90,18 @@ func TestPropertyInvariants(t *testing.T) {
 }
 
 // normalize strips the fields that legitimately differ between two
-// runs of the same simulation: wall-clock measurements and the
-// diagnostics of the machinery under metamorphic test.
+// runs of the same simulation: wall-clock measurements, the
+// diagnostics of the machinery under metamorphic test, and the
+// telemetry summaries (populated only when histograms are on).
 func normalize(r *Result) Result {
 	n := *r
 	n.MeasuredPeriodPlanning = 0
 	n.MeasuredSessionPlanning = 0
 	n.FastForwardHits = 0
 	n.AuditChecks = 0
+	n.InferLatency = telemetry.Summary{}
+	n.RetrainLatency = telemetry.Summary{}
+	n.QueueDelay = telemetry.Summary{}
 	return n
 }
 
@@ -162,6 +168,98 @@ func TestMetamorphicFastForward(t *testing.T) {
 			t.Errorf("%s: %d replays with fast-forward disabled", m.name, withoutFF.FastForwardHits)
 		}
 		sameResult(t, m.name, withFF, withoutFF)
+	}
+}
+
+// TestMetamorphicTelemetry asserts the telemetry collector is strictly
+// read-only: a run with the full trace and histograms enabled produces
+// bit-identical metrics to an untraced run, the emitted trace passes
+// schema validation and converts to a well-formed Chrome trace, and a
+// traced run with fast-forward disabled emits the same number of job
+// spans (replays re-emit exactly what full execution would).
+func TestMetamorphicTelemetry(t *testing.T) {
+	apps, profs := fixtures(t)
+	base := Config{
+		Apps:               apps,
+		GPUs:               4,
+		Horizon:            100 * time.Second,
+		Seed:               11,
+		RatePerApp:         150,
+		Retraining:         true,
+		DivergentSelection: true,
+		PoolSamples:        2000,
+		Profiles:           profs,
+		Audit:              true,
+	}
+
+	plain := base
+	plain.Method = core.New(core.Options{})
+	rOff, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runTraced := func(disableFF bool) (*Result, *bytes.Buffer) {
+		t.Helper()
+		var buf bytes.Buffer
+		tel := telemetry.New(telemetry.Options{Trace: &buf, Hist: true})
+		cfg := base
+		cfg.Method = core.New(core.Options{})
+		cfg.Telemetry = tel
+		cfg.DisableFastForward = disableFF
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatalf("trace write: %v", err)
+		}
+		return r, &buf
+	}
+	rOn, trace := runTraced(false)
+	sameResult(t, "telemetry on vs off", rOff, rOn)
+
+	if rOn.InferLatency.Count == 0 {
+		t.Error("no inference latency samples collected")
+	}
+	if rOn.InferLatency.P99Ms < rOn.InferLatency.P50Ms {
+		t.Errorf("p99 %v < p50 %v", rOn.InferLatency.P99Ms, rOn.InferLatency.P50Ms)
+	}
+
+	counts, err := telemetry.Validate(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	if counts[telemetry.EvRun] != 1 {
+		t.Errorf("run headers = %d, want 1", counts[telemetry.EvRun])
+	}
+	for _, ev := range []string{telemetry.EvPeriod, telemetry.EvSessionPlan, telemetry.EvJob} {
+		if counts[ev] == 0 {
+			t.Errorf("no %q events in trace", ev)
+		}
+	}
+
+	var chrome bytes.Buffer
+	if err := telemetry.ExportChrome(bytes.NewReader(trace.Bytes()), &chrome); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Error("chrome trace is not valid JSON")
+	}
+
+	// Replays must re-emit the spans full execution would have emitted:
+	// same job count whether or not any session fast-forwarded.
+	rSlow, slowTrace := runTraced(true)
+	sameResult(t, "traced ff vs no-ff", rOn, rSlow)
+	if rOn.FastForwardHits == 0 {
+		t.Error("no sessions replayed; span-consistency check is vacuous")
+	}
+	slowCounts, err := telemetry.Validate(bytes.NewReader(slowTrace.Bytes()))
+	if err != nil {
+		t.Fatalf("no-ff trace schema: %v", err)
+	}
+	if counts[telemetry.EvJob] != slowCounts[telemetry.EvJob] {
+		t.Errorf("job spans: ff %d != no-ff %d", counts[telemetry.EvJob], slowCounts[telemetry.EvJob])
 	}
 }
 

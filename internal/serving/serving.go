@@ -28,6 +28,7 @@ import (
 	"adainf/internal/profile"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 	"adainf/internal/trace"
 )
 
@@ -86,6 +87,13 @@ type Config struct {
 	// identical either way (the metamorphic-test knob for the
 	// fast-forward memo; also a debugging aid).
 	DisableFastForward bool
+	// Telemetry, when non-nil, collects the run's latency histograms
+	// and/or JSONL decision trace (see internal/telemetry). Telemetry
+	// is strictly read-only observability: it never draws from the RNG
+	// or mutates simulation state, so a traced run produces
+	// bit-identical metrics to an untraced one. A nil collector is the
+	// zero-cost no-op.
+	Telemetry *telemetry.Collector
 	// Debug prints per-period per-node adaptation state to stdout.
 	Debug bool
 }
@@ -167,6 +175,34 @@ type Result struct {
 	// AuditChecks counts the invariant evaluations the auditor
 	// performed (zero when auditing was disabled).
 	AuditChecks int
+
+	// FinishRateValid and UpdatedModelValid mask the corresponding
+	// series: entries are true where the window (period) observed at
+	// least one arrival (prediction). Aggregates over the series must
+	// skip invalid entries — a 0-filled empty window carries no
+	// information and would silently dilute a mean.
+	FinishRateValid   []bool
+	UpdatedModelValid []bool
+
+	// Overflow totals the events stamped outside the horizon (excluded
+	// from the per-period/per-window series above, included in the
+	// aggregate means).
+	Overflow metrics.Overflow
+
+	// UtilizationOvershootMax and UtilizationOvershootWindows surface
+	// raw busy-time over-accounting: the maximum unclamped per-second
+	// utilization and how many 1 s windows exceeded 1 (the reported
+	// UtilizationPerSec series clamps at 1).
+	UtilizationOvershootMax     float64
+	UtilizationOvershootWindows int
+
+	// InferLatency, RetrainLatency, and QueueDelay summarize the
+	// telemetry latency histograms (zero unless Config.Telemetry had
+	// histograms enabled). QueueDelay is job latency minus time spent
+	// inferring and retraining: scheduling lead plus in-job waiting.
+	InferLatency   telemetry.Summary
+	RetrainLatency telemetry.Summary
+	QueueDelay     telemetry.Summary
 }
 
 // appState is the runtime bundle per application.
@@ -206,32 +242,48 @@ type pendingRetrain struct {
 	applied bool
 }
 
-// BuildProfiles builds (or reuses from cache) the per-app offline
-// profiles for the memory configuration.
+// ProfileBuildOptions tunes BuildProfilesWith beyond the memory
+// configuration. The zero value profiles from scratch with no audit
+// and no telemetry.
+type ProfileBuildOptions struct {
+	// CacheDir backs the build with the on-disk profile cache (see
+	// profile.BuildAppProfileCached); empty profiles from scratch.
+	CacheDir string
+	// Audit enables the GPU-memory invariant checks during profiling
+	// (profile.Config.Audit). Audited and unaudited builds produce
+	// identical profiles and share the same on-disk cache keys; a warm
+	// cache satisfies the build without re-running the measurements.
+	Audit bool
+	// Telemetry receives profile-cache hit/miss events and the
+	// profiled partitions' eviction events. Neither enters the cache
+	// key.
+	Telemetry *telemetry.Collector
+}
+
+// BuildProfiles builds the per-app offline profiles for the memory
+// configuration.
 func BuildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy) (map[string]*profile.AppProfile, error) {
-	return BuildProfilesCached(apps, strat, newPolicy, "")
+	return BuildProfilesWith(apps, strat, newPolicy, ProfileBuildOptions{})
 }
 
 // BuildProfilesCached is BuildProfiles backed by the on-disk profile
-// cache in cacheDir (see profile.BuildAppProfileCached); an empty
-// cacheDir profiles from scratch.
+// cache in cacheDir; an empty cacheDir profiles from scratch.
 func BuildProfilesCached(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
 	cacheDir string) (map[string]*profile.AppProfile, error) {
-	return buildProfiles(apps, strat, newPolicy, cacheDir, false)
+	return BuildProfilesWith(apps, strat, newPolicy, ProfileBuildOptions{CacheDir: cacheDir})
 }
 
 // BuildProfilesAudited is BuildProfilesCached with the GPU-memory
-// invariant checks enabled during profiling (profile.Config.Audit).
-// Audited and unaudited builds produce identical profiles and share
-// the same on-disk cache keys; a warm cache satisfies the build
-// without re-running (or re-auditing) the measurements.
+// invariant checks enabled during profiling.
 func BuildProfilesAudited(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
 	cacheDir string) (map[string]*profile.AppProfile, error) {
-	return buildProfiles(apps, strat, newPolicy, cacheDir, true)
+	return BuildProfilesWith(apps, strat, newPolicy, ProfileBuildOptions{CacheDir: cacheDir, Audit: true})
 }
 
-func buildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
-	cacheDir string, auditMem bool) (map[string]*profile.AppProfile, error) {
+// BuildProfilesWith builds (or loads from cache) the per-app offline
+// profiles for the memory configuration under the given options.
+func BuildProfilesWith(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.Policy,
+	opts ProfileBuildOptions) (map[string]*profile.AppProfile, error) {
 
 	out := make(map[string]*profile.AppProfile, len(apps))
 	byBase := make(map[string]*profile.AppProfile)
@@ -246,8 +298,9 @@ func buildProfiles(apps []*app.App, strat gpu.Strategy, newPolicy func() gpumem.
 		p, err := profile.BuildAppProfileCached(a, profile.Config{
 			Strategy:  strat,
 			NewPolicy: newPolicy,
-			Audit:     auditMem,
-		}, cacheDir)
+			Audit:     opts.Audit,
+			Telemetry: opts.Telemetry,
+		}, opts.CacheDir)
 		if err != nil {
 			return nil, err
 		}
@@ -275,8 +328,10 @@ func Run(cfg Config) (*Result, error) {
 	profiles := cfg.Profiles
 	if profiles == nil {
 		var err error
-		profiles, err = buildProfiles(cfg.Apps, cfg.MemStrategy, cfg.NewPolicy, "",
-			cfg.Audit || cfg.AuditReport != nil)
+		profiles, err = BuildProfilesWith(cfg.Apps, cfg.MemStrategy, cfg.NewPolicy, ProfileBuildOptions{
+			Audit:     cfg.Audit || cfg.AuditReport != nil,
+			Telemetry: cfg.Telemetry,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +380,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Method: cfg.Method.Name()}
 	rng := dist.NewRNG(cfg.Seed ^ 0x5eed)
 
+	cfg.Telemetry.Run(cfg.Method.Name(), cfg.GPUs, cfg.Horizon, len(cfg.Apps))
 	if err := newRunLoop(&cfg, states, rec, res, rng).run(); err != nil {
 		return nil, err
 	}
@@ -339,6 +395,15 @@ func Run(cfg Config) (*Result, error) {
 	res.MeanRetrainLatencyMs = rec.MeanRetrainLatencyMs()
 	res.RetrainTimePerPeriodS = rec.RetrainTimePerPeriodS()
 	res.RetrainSampleFraction = rec.RetrainSampleFraction()
+	res.FinishRateValid = rec.WindowsWithArrivals()
+	res.UpdatedModelValid = rec.PeriodsWithPredictions()
+	res.Overflow = rec.Overflow()
+	res.UtilizationOvershootMax, res.UtilizationOvershootWindows = rec.UtilizationOvershoot()
+	if tel := cfg.Telemetry; tel.HistEnabled() {
+		res.InferLatency = tel.Infer.Summary()
+		res.RetrainLatency = tel.Retrain.Summary()
+		res.QueueDelay = tel.Queue.Summary()
+	}
 	return res, nil
 }
 
@@ -450,6 +515,7 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 	met := latency <= a.SLO
 	rec.RecordJob(inferTotal, retrainTotal)
 	rec.RecordBusy(jobStart, jobEnd, fraction)
+	l.tel.Job(start, l.ctx.Session, a.Name, actual, lead, inferTotal, retrainTotal, latency, met, false)
 	res.Jobs++
 
 	// Score every request: one SLO outcome per request and one

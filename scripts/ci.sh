@@ -36,6 +36,20 @@ echo "== fuzz smoke =="
 go test -run='^$' -fuzz=FuzzFitScaling -fuzztime=5s ./internal/mathx
 go test -run='^$' -fuzz=FuzzCacheKey -fuzztime=5s ./internal/profile
 
+# Telemetry smoke: the no-op collector must stay allocation-free on
+# the serving hot path, and a traced run must emit a schema-valid
+# JSONL trace that converts to a Chrome trace. The goldens test in the
+# suite above already pins that metrics are byte-identical with
+# telemetry off (and the serving metamorphic test pins on == off).
+echo "== telemetry smoke =="
+go test -run 'TestNoopZeroAlloc' ./internal/telemetry
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/repro -quick -horizon 100s -rate 80 -trace "$tracedir" -hist fig18 >/dev/null
+go run ./cmd/tracecheck -q "$tracedir"/fig18-*.jsonl
+first=$(ls "$tracedir"/fig18-*.jsonl | head -1)
+go run ./cmd/tracecheck -q -chrome "$tracedir/smoke.chrome.json" "$first"
+
 # Quick bench smoke: regenerate the three benchmark artifacts and fail
 # on a >20% wall-clock regression vs results/BENCH_baseline.json.
 echo "== bench smoke =="
