@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,11 +43,22 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the JSONL decision trace to this file (see DESIGN.md §10)")
 		chromePath = flag.String("trace-chrome", "", "also convert the trace to a Chrome trace_event file for chrome://tracing or Perfetto (requires -trace)")
 		histOn     = flag.Bool("hist", false, "collect latency histograms and report p50/p90/p99/p99.9")
+
+		planWorkers = flag.Int("plan-workers", 0,
+			"scheduler candidate-search workers per session plan (0 = one per CPU, 1 = serial; metrics are byte-identical either way)")
+		planMemo = flag.Bool("plan-memo", true,
+			"memoize session plans across periods (metrics are byte-identical either way)")
 	)
 	flag.Parse()
 	if *chromePath != "" && *tracePath == "" {
 		fatal(fmt.Errorf("-trace-chrome requires -trace"))
 	}
+	pw := *planWorkers
+	if pw == 0 {
+		pw = runtime.GOMAXPROCS(0)
+	}
+	core.SetDefaultPlanWorkers(pw)
+	core.SetDefaultPlanMemo(*planMemo)
 
 	apps, err := app.CatalogN(*nApps)
 	if err != nil {
@@ -116,6 +128,10 @@ func main() {
 	fmt.Printf("  inference/job:   %.1f ms\n", res.MeanInferLatencyMs)
 	fmt.Printf("  retraining/job:  %.1f ms\n", res.MeanRetrainLatencyMs)
 	fmt.Printf("  requests served: %d in %d jobs\n", res.Requests, res.Jobs)
+	if res.PlanMemoHits+res.PlanMemoMisses > 0 {
+		fmt.Printf("  plan memo:       %d hits / %d misses / %d invalidated\n",
+			res.PlanMemoHits, res.PlanMemoMisses, res.PlanMemoInvalidated)
+	}
 	if res.EdgeCloudBytes > 0 {
 		fmt.Printf("  edge-cloud:      %.1f GB in %.1fs per period\n",
 			float64(res.EdgeCloudBytes)/1e9, res.EdgeCloudTransfer.Seconds())
@@ -125,6 +141,7 @@ func main() {
 		printSummary("inference", res.InferLatency)
 		printSummary("retraining", res.RetrainLatency)
 		printSummary("queueing", res.QueueDelay)
+		printSummary("planning", res.PlanningTime)
 	}
 	if *tracePath != "" {
 		fmt.Printf("\ntrace written to %s\n", *tracePath)

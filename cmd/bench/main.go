@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"adainf/internal/core"
 	"adainf/internal/experiments"
 )
 
@@ -35,6 +36,9 @@ type benchResult struct {
 	WallNS      int64  `json:"wall_ns"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// PlanWorkers marks intra-run parallel-planner variants (absent on
+	// the serial measurements the baseline comparison runs against).
+	PlanWorkers int `json:"plan_workers,omitempty"`
 }
 
 type benchFile struct {
@@ -44,6 +48,7 @@ type benchFile struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Workers    int           `json:"workers"`
 	Seed       int64         `json:"seed"`
+	PlanMemo   bool          `json:"plan_memo"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
@@ -76,8 +81,17 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the last artifact to this file")
 		failAbove  = flag.Float64("fail-above", 0,
 			"exit non-zero if any artifact's wall-clock regresses more than this fraction vs the baseline (0 disables, e.g. 0.2 = +20%)")
+		planWorkers = flag.Int("plan-workers", 0,
+			"scheduler candidate-search workers for the parallel variant (0 = GOMAXPROCS; 1 skips the variant)")
+		planMemo = flag.Bool("plan-memo", true, "memoize session plans across periods")
 	)
 	flag.Parse()
+
+	pw := *planWorkers
+	if pw == 0 {
+		pw = runtime.GOMAXPROCS(0)
+	}
+	core.SetDefaultPlanMemo(*planMemo)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -100,20 +114,41 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Seed:       *seed,
+		PlanMemo:   *planMemo,
+	}
+	opts := experiments.Options{
+		Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
+		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
 	}
 	for _, a := range artifacts {
-		r, err := measure(a.fn, experiments.Options{
-			Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
-			Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
-		})
+		// The plain-named measurement plans serially so the baseline
+		// comparison (and -fail-above) stays apples-to-apples; the
+		// pw<N> variant then measures the intra-run parallel speedup.
+		core.SetDefaultPlanWorkers(1)
+		r, err := measure(a.fn, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n", a.name, err)
 			os.Exit(1)
 		}
 		r.Name = a.name
 		out.Benchmarks = append(out.Benchmarks, r)
-		fmt.Printf("%-8s %12v  %12d allocs  %14d B\n",
-			a.name, time.Duration(r.WallNS).Round(time.Millisecond), r.AllocsPerOp, r.BytesPerOp)
+		fmt.Printf("%-12s %12v  %12d allocs  %14d B\n",
+			r.Name, time.Duration(r.WallNS).Round(time.Millisecond), r.AllocsPerOp, r.BytesPerOp)
+		if pw > 1 {
+			core.SetDefaultPlanWorkers(pw)
+			p, err := measure(a.fn, opts)
+			core.SetDefaultPlanWorkers(1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s (plan-workers %d) failed: %v\n", a.name, pw, err)
+				os.Exit(1)
+			}
+			p.Name = fmt.Sprintf("%s-pw%d", a.name, pw)
+			p.PlanWorkers = pw
+			out.Benchmarks = append(out.Benchmarks, p)
+			fmt.Printf("%-12s %12v  %12d allocs  %14d B  (%.2fx vs serial)\n",
+				p.Name, time.Duration(p.WallNS).Round(time.Millisecond), p.AllocsPerOp, p.BytesPerOp,
+				float64(r.WallNS)/float64(p.WallNS))
+		}
 	}
 
 	if *memprofile != "" {
@@ -237,6 +272,9 @@ func compare(base, cur benchFile) {
 	fmt.Printf("%-8s %10s %10s %9s %8s %12s %12s %8s\n",
 		"bench", "base", "now", "speedup", "wall Δ%", "base allocs", "now allocs", "ratio")
 	for _, c := range cur.Benchmarks {
+		if c.PlanWorkers != 0 {
+			continue // intra-run variant, compared against its own serial run above
+		}
 		b, ok := byName[c.Name]
 		if !ok {
 			fmt.Printf("%-8s (no baseline entry)\n", c.Name)

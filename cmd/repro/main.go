@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
+	"adainf/internal/core"
 	"adainf/internal/experiments"
 )
 
@@ -60,9 +62,19 @@ func main() {
 			"collect latency histograms per arm; latency tables gain p50/p99/p99.9 columns (metrics are bit-identical either way)")
 		traceDir = flag.String("trace", "",
 			"write one JSONL decision trace per simulation arm into this directory (validate/convert with tracecheck)")
+		planWorkers = flag.Int("plan-workers", 0,
+			"scheduler candidate-search workers per session plan (0 = one per CPU, 1 = serial; plans are byte-identical either way)")
+		planMemo = flag.Bool("plan-memo", true,
+			"memoize session plans across periods (plans are byte-identical either way)")
 	)
 	flag.Usage = usage
 	flag.Parse()
+	pw := *planWorkers
+	if pw == 0 {
+		pw = runtime.GOMAXPROCS(0)
+	}
+	core.SetDefaultPlanWorkers(pw)
+	core.SetDefaultPlanMemo(*planMemo)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

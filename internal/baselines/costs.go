@@ -1,0 +1,29 @@
+package baselines
+
+import (
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+)
+
+// installCosts gives every job in the session a persistent
+// latency-probe memo backed by the profile's flattened tables
+// (profiles are immutable, so entries stay valid for the scheduler's
+// lifetime). m is the scheduler's per-profile store; the possibly
+// freshly created map is returned for reassignment.
+func installCosts(m map[*profile.AppProfile]*profile.LatencyCache, jobs []sched.JobRequest) map[*profile.AppProfile]*profile.LatencyCache {
+	if m == nil {
+		m = make(map[*profile.AppProfile]*profile.LatencyCache)
+	}
+	for i := range jobs {
+		if jobs[i].Costs != nil {
+			continue
+		}
+		c, ok := m[jobs[i].Profile]
+		if !ok {
+			c = profile.NewLatencyCache(jobs[i].Profile)
+			m[jobs[i].Profile] = c
+		}
+		jobs[i].Costs = c
+	}
+	return m
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"adainf/internal/profile"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
 )
@@ -44,6 +45,10 @@ type Ekya struct {
 	// until the next PlanSession call).
 	plan    sched.SessionPlan
 	nodeBuf []sched.NodePlan
+
+	// costs holds the per-profile latency-probe memos installed on
+	// every session's jobs (see installCosts).
+	costs map[*profile.AppProfile]*profile.LatencyCache
 }
 
 type ekyaKey struct {
@@ -232,6 +237,7 @@ func (e *Ekya) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error
 	if cap(plan.Jobs) < len(ctx.Jobs) {
 		plan.Jobs = make([]sched.JobPlan, 0, len(ctx.Jobs))
 	}
+	e.costs = installCosts(e.costs, ctx.Jobs)
 	active := 0
 	for i := range ctx.Jobs {
 		if ctx.Jobs[i].Requests > 0 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adainf/internal/cloud"
+	"adainf/internal/profile"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
 )
@@ -31,6 +32,10 @@ type Scrooge struct {
 	cached       *sched.SessionPlan
 	transferTime simtime.Duration
 	transferred  int64
+
+	// costs holds the per-profile latency-probe memos installed on
+	// every solved session's jobs (see installCosts).
+	costs map[*profile.AppProfile]*profile.LatencyCache
 }
 
 // NewScrooge returns the Scrooge baseline (set star for Scrooge*).
@@ -116,6 +121,7 @@ func (s *Scrooge) solve(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
 	for i := range ctx.Jobs {
 		ctx.Jobs[i].Requests = sched.PadRequests(ctx.Jobs[i].Requests)
 	}
+	s.costs = installCosts(s.costs, ctx.Jobs)
 	type solved struct {
 		fraction float64
 		batch    int

@@ -18,16 +18,25 @@
 // The ablation variants of §5.2 (/I /S /E) are switches on Options;
 // the memory-strategy variants (/M1 /M2) live in the serving engine's
 // execution configuration, and /U in its DAG-update policy.
+//
+// PlanSession's candidate searches can run on a bounded worker pool and
+// whole plans are memoized across periods; see planner.go for the
+// determinism and soundness arguments.
 package core
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"time"
 
+	"adainf/internal/app"
 	"adainf/internal/dnn"
 	"adainf/internal/drift"
+	"adainf/internal/profile"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
 )
 
 // DefaultMinFraction is the smallest GPU-space slice a job can be
@@ -62,6 +71,14 @@ type Options struct {
 	Overhead simtime.Duration
 	// Label overrides Name() for variant reporting.
 	Label string
+	// PlanWorkers bounds the worker pool that evaluates independent
+	// per-job candidate searches inside PlanSession. Zero takes the
+	// process-wide default (SetDefaultPlanWorkers); 1 plans serially.
+	// Plans are byte-identical at any worker count.
+	PlanWorkers int
+	// DisablePlanMemo turns off cross-period session-plan memoization
+	// for this scheduler regardless of the process-wide default.
+	DisablePlanMemo bool
 }
 
 // Scheduler is the AdaInf session scheduler.
@@ -70,14 +87,52 @@ type Scheduler struct {
 	dags        map[string]*sched.RIDag
 	lastReports map[string]map[string]drift.Report
 
-	// Per-period memoization: the SLO-space inversion and the
-	// structure/batch choice depend only on (app, requests, fraction)
-	// within one period, so they are cached until the next
-	// OnPeriodStart. This is what keeps the on-line scheduling cost at
-	// the paper's ~2 ms scale instead of re-running regressions every
-	// session.
+	// Planner configuration resolved in New (planner.go).
+	workers    int
+	memoOn     bool
+	memoVerify bool
+	tel        *telemetry.Collector
+
+	// Memoization, coarsest to finest:
+	//
+	// memo holds whole session plans keyed on every input they depend
+	// on; it survives period boundaries because the key does (planner.go).
+	//
+	// reqFracCache holds the §3.3.1 SLO-space inversion per (app,
+	// padded requests). It is computed at full structures from the
+	// immutable profile only, so it too survives periods.
+	//
+	// jobBaseCache holds the per-job structure/batch choice per (app,
+	// requests, quantized fraction). Structure choice reads the model
+	// states and the retraining pools, so it is dropped every
+	// OnPeriodStart — and deliberately not refreshed within a period
+	// (that staleness is what jobBase.stateTag guards the plan memo
+	// against).
+	//
+	// costs memoizes individual latency probes per application profile
+	// and backs all of the above.
+	memo         planMemo
 	reqFracCache map[reqKey]float64
 	jobBaseCache map[baseKey]*jobBase
+	costs        map[*profile.AppProfile]*profile.LatencyCache
+
+	// Per-period pool-distribution cache (planner.go); mutex-guarded
+	// because pool workers probe it concurrently.
+	poolDistMu sync.Mutex
+	poolDists  map[*app.NodeInstance]poolDistEntry
+
+	memoHits        uint64
+	memoMisses      uint64
+	memoInvalidated uint64
+	// missStreak counts consecutive memo misses. Once it reaches
+	// memoMissStreakLimit the memo goes dormant for the rest of the
+	// period (memoSkip): with FIFO eviction a streak twice the capacity
+	// proves every stored entry cycled out unused, so under the current
+	// drift conditions keys cannot recur fast enough to hit — keying is
+	// pure overhead. OnPeriodStart re-arms the memo, since drift (and
+	// with it key churn) changes at period boundaries.
+	missStreak int
+	memoSkip   bool
 
 	// Reusable planning storage. PlanSession runs every 5 ms session;
 	// these arenas keep its steady state allocation-free. The returned
@@ -87,6 +142,21 @@ type Scheduler struct {
 	fractions []float64
 	plan      sched.SessionPlan
 	nodeBuf   []sched.NodePlan
+
+	// Staging for the parallel candidate searches: workers write only
+	// their own index; merges happen serially in index order.
+	reqMissIdx  []int
+	reqMissVal  []float64
+	reqMissErr  []error
+	baseMissIdx []int
+	baseMissVal []*jobBase
+	baseMissErr []error
+	usedBases   []*jobBase
+	keyBuf      []byte
+
+	// basePool recycles jobBase values evicted at period boundaries
+	// (their slices dominate the planner's steady-state allocations).
+	basePool sync.Pool
 }
 
 type reqKey struct {
@@ -128,6 +198,10 @@ type jobBase struct {
 	structs    []dnn.Structure
 	inferTimes []simtime.Duration
 	inferTotal simtime.Duration
+	// stateTag folds the model-state versions the structure choice read
+	// (jobStateTag); the plan memo refuses to store plans assembled
+	// from a base whose states have since moved.
+	stateTag uint64
 }
 
 // New returns an AdaInf scheduler with the options.
@@ -138,13 +212,26 @@ func New(opts Options) *Scheduler {
 	if opts.Overhead == 0 {
 		opts.Overhead = DefaultOverhead
 	}
-	return &Scheduler{
+	workers := opts.PlanWorkers
+	if workers == 0 {
+		workers = int(defaultPlanWorkers.Load())
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{
 		opts:         opts,
+		workers:      workers,
+		memoOn:       !opts.DisablePlanMemo && !defaultPlanMemoOff.Load(),
 		dags:         make(map[string]*sched.RIDag),
 		lastReports:  make(map[string]map[string]drift.Report),
 		reqFracCache: make(map[reqKey]float64),
 		jobBaseCache: make(map[baseKey]*jobBase),
+		costs:        make(map[*profile.AppProfile]*profile.LatencyCache),
+		poolDists:    make(map[*app.NodeInstance]poolDistEntry),
 	}
+	s.basePool.New = func() any { return new(jobBase) }
+	return s
 }
 
 // Name implements sched.Scheduler.
@@ -163,28 +250,104 @@ func (s *Scheduler) SteadyStatePlanning() {}
 
 // PlanSession implements sched.Scheduler. The returned plan aliases the
 // scheduler's reusable storage and is valid until the next PlanSession
-// call (see sched.Scheduler).
+// call (see sched.Scheduler). When memoization is on and the session's
+// full input fingerprint matches a stored plan, that plan is returned
+// without recomputation (planner.go).
 func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
 	s.plan = sched.SessionPlan{
 		Session:  ctx.Session,
 		Overhead: s.opts.Overhead,
 		Jobs:     s.plan.Jobs[:0],
 	}
-	plan := &s.plan
 	if len(ctx.Jobs) == 0 {
-		return plan, nil
+		return &s.plan, nil
 	}
 	// Bind each job to its current retraining-inference DAG (built by
-	// OnPeriodStart) unless the caller supplied one explicitly, and
-	// plan against a conservative request quantile.
+	// OnPeriodStart) unless the caller supplied one explicitly, plan
+	// against a conservative request quantile, and install the latency
+	// memo.
 	totalNodes := 0
 	for i := range ctx.Jobs {
-		if ctx.Jobs[i].Dag == nil {
-			ctx.Jobs[i].Dag = s.dags[ctx.Jobs[i].Instance.App.Name]
+		jr := &ctx.Jobs[i]
+		if jr.Dag == nil {
+			jr.Dag = s.dags[jr.Instance.App.Name]
 		}
-		ctx.Jobs[i].Requests = sched.PadRequests(ctx.Jobs[i].Requests)
-		totalNodes += len(ctx.Jobs[i].Instance.Nodes())
+		jr.Requests = sched.PadRequests(jr.Requests)
+		if jr.Costs == nil {
+			jr.Costs = s.costsFor(jr.Profile)
+		}
+		totalNodes += len(jr.Instance.Nodes())
 	}
+	if !s.memoOn || s.memoSkip {
+		return s.planFull(ctx, totalNodes)
+	}
+	key, err := s.memoKey(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// The digest is pure telemetry identity (the map keys on the full
+	// bytes); don't pay for it when nothing collects it.
+	var digest uint64
+	if s.tel != nil {
+		digest = fnvDigest(key)
+	}
+	if e := s.memo.get(key); e != nil {
+		s.missStreak = 0
+		s.notePlanMemo(ctx.Start, "hit", digest)
+		if !s.memoVerify {
+			e.plan.Session = ctx.Session
+			return &e.plan, nil
+		}
+		plan, err := s.planFull(ctx, totalNodes)
+		if err != nil {
+			return nil, err
+		}
+		if !plansEquivalent(plan, &e.plan) {
+			return nil, fmt.Errorf("core: plan memo verification failed (session %d, digest %x)", ctx.Session, digest)
+		}
+		return plan, nil
+	}
+	plan, err := s.planFull(ctx, totalNodes)
+	if err != nil {
+		return nil, err
+	}
+	s.notePlanMemo(ctx.Start, "miss", digest)
+	if s.missStreak++; s.missStreak >= memoMissStreakLimit {
+		s.memoSkip = true
+		return plan, nil
+	}
+	if s.planMemoizable(ctx) {
+		if evDigest, evicted := s.memo.put(key, digest, plan); evicted {
+			s.notePlanMemo(ctx.Start, "invalidated", evDigest)
+		}
+	}
+	return plan, nil
+}
+
+// planMemoizable reports whether the plan just assembled reflects a
+// fresh computation under the session's memo key: every jobBase it used
+// must have been derived from the model states the key fingerprints.
+// See jobStateTag.
+func (s *Scheduler) planMemoizable(ctx *sched.SessionContext) bool {
+	for i := range ctx.Jobs {
+		base := s.usedBases[i]
+		if base == nil {
+			continue
+		}
+		if base.stateTag != s.jobStateTag(&ctx.Jobs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// planFull computes the session plan from scratch (modulo the
+// per-period caches). Candidate searches for jobs missing a cache entry
+// run on the worker pool; all cache writes and plan assembly stay
+// serial, in job-index order.
+func (s *Scheduler) planFull(ctx *sched.SessionContext, totalNodes int) (*sched.SessionPlan, error) {
+	plan := &s.plan
+	plan.Jobs = plan.Jobs[:0]
 	// Pre-grow the node arena: once sliced, the per-job sub-slices must
 	// not be invalidated by a later append's reallocation.
 	if cap(s.nodeBuf) < totalNodes {
@@ -196,31 +359,45 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 	}
 
 	// Step 1 (§3.3.1): per job, optimal batch at full GPU and the GPU
-	// space required to meet the SLO.
+	// space required to meet the SLO. Cache misses are independent pure
+	// computations — fan them out.
 	s.required = resizeFloats(s.required, len(ctx.Jobs))
 	required := s.required
-	var totalRequired float64
+	s.reqMissIdx = s.reqMissIdx[:0]
 	for i := range ctx.Jobs {
 		jr := &ctx.Jobs[i]
 		if jr.Requests <= 0 {
 			continue
 		}
 		key := reqKey{app: jr.Instance.App.Name, requests: jr.Requests}
-		req, ok := s.reqFracCache[key]
-		if !ok {
-			structs := sched.FullStructures(jr)
-			batch, _, err := sched.BestBatch(jr, structs, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			req, err = sched.RequiredFraction(jr, structs, batch, s.opts.MinFraction)
-			if err != nil {
-				return nil, err
-			}
-			s.reqFracCache[key] = req
+		if req, ok := s.reqFracCache[key]; ok {
+			required[i] = req
+		} else {
+			s.reqMissIdx = append(s.reqMissIdx, i)
 		}
-		required[i] = req
-		totalRequired += req
+	}
+	if n := len(s.reqMissIdx); n > 0 {
+		s.reqMissVal = resizeSlice(s.reqMissVal, n)
+		s.reqMissErr = resizeSlice(s.reqMissErr, n)
+		s.parallelFor(n, func(k int) {
+			s.reqMissVal[k], s.reqMissErr[k] = requiredFractionFor(&ctx.Jobs[s.reqMissIdx[k]], s.opts.MinFraction)
+		})
+		for k, i := range s.reqMissIdx {
+			if err := s.reqMissErr[k]; err != nil {
+				return nil, err
+			}
+			jr := &ctx.Jobs[i]
+			s.reqFracCache[reqKey{app: jr.Instance.App.Name, requests: jr.Requests}] = s.reqMissVal[k]
+			required[i] = s.reqMissVal[k]
+		}
+	}
+	// Sum in job-index order, exactly as the serial loop did — float
+	// addition is not associative.
+	var totalRequired float64
+	for i := range ctx.Jobs {
+		if ctx.Jobs[i].Requests > 0 {
+			totalRequired += required[i]
+		}
 	}
 
 	// Step 2: split the session's GPU amount.
@@ -277,7 +454,49 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 	}
 
 	// Steps 3–5 (§3.3.2): per job, choose structures, re-adjust batch,
-	// and divide SLO time between inference and retraining.
+	// and divide SLO time between inference and retraining. The
+	// structure/batch search (jobBase) is the expensive, pure part —
+	// cache misses fan out; retraining assignment reads the draining
+	// pools and stays serial.
+	s.usedBases = resizeSlice(s.usedBases, len(ctx.Jobs))
+	s.baseMissIdx = s.baseMissIdx[:0]
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		if jr.Requests <= 0 {
+			continue
+		}
+		key := baseKey{app: jr.Instance.App.Name, requests: jr.Requests, fracMilli: fracKey(fractions[i])}
+		if base, ok := s.jobBaseCache[key]; ok {
+			s.usedBases[i] = base
+		} else {
+			s.baseMissIdx = append(s.baseMissIdx, i)
+		}
+	}
+	if n := len(s.baseMissIdx); n > 0 {
+		s.baseMissVal = resizeSlice(s.baseMissVal, n)
+		s.baseMissErr = resizeSlice(s.baseMissErr, n)
+		s.parallelFor(n, func(k int) {
+			i := s.baseMissIdx[k]
+			s.baseMissVal[k], s.baseMissErr[k] = s.computeJobBase(&ctx.Jobs[i], fractions[i])
+		})
+		for k, i := range s.baseMissIdx {
+			if err := s.baseMissErr[k]; err != nil {
+				return nil, err
+			}
+			jr := &ctx.Jobs[i]
+			key := baseKey{app: jr.Instance.App.Name, requests: jr.Requests, fracMilli: fracKey(fractions[i])}
+			if prev, ok := s.jobBaseCache[key]; ok {
+				// Two jobs shared a key and both computed it: the values
+				// are identical (pure function of the key's inputs); keep
+				// the first, recycle the duplicate.
+				s.basePool.Put(s.baseMissVal[k])
+				s.usedBases[i] = prev
+			} else {
+				s.jobBaseCache[key] = s.baseMissVal[k]
+				s.usedBases[i] = s.baseMissVal[k]
+			}
+		}
+	}
 	for i := range ctx.Jobs {
 		jr := &ctx.Jobs[i]
 		if jr.Requests <= 0 {
@@ -285,21 +504,27 @@ func (s *Scheduler) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, 
 			continue
 		}
 		plan.Jobs = append(plan.Jobs, sched.JobPlan{})
-		if err := s.planJob(jr, fractions[i], &plan.Jobs[len(plan.Jobs)-1]); err != nil {
-			return nil, err
-		}
+		s.finishJob(jr, fractions[i], s.usedBases[i], &plan.Jobs[len(plan.Jobs)-1])
 	}
 	return plan, nil
 }
 
-// planJob performs the per-job §3.3.2 decisions at the allocated space,
-// writing the result into jp. Node plans are sliced out of the
-// scheduler's pre-grown arena.
-func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64, jp *sched.JobPlan) error {
-	base, err := s.jobBaseFor(jr, fraction)
+// requiredFractionFor is the step-1 cache-miss computation: optimal
+// batch at a whole GPU, then the SLO-space inversion. Pure function of
+// the job's profile and padded request count — safe on the worker pool.
+func requiredFractionFor(jr *sched.JobRequest, minFraction float64) (float64, error) {
+	structs := sched.FullStructures(jr)
+	batch, _, err := sched.BestBatch(jr, structs, 1.0)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	return sched.RequiredFraction(jr, structs, batch, minFraction)
+}
+
+// finishJob fills jp from the job's cached inference-side base and
+// assigns retraining time. Node plans are sliced out of the scheduler's
+// pre-grown arena.
+func (s *Scheduler) finishJob(jr *sched.JobRequest, fraction float64, base *jobBase, jp *sched.JobPlan) {
 	*jp = sched.JobPlan{
 		App:       jr.Instance.App.Name,
 		Fraction:  fraction,
@@ -327,50 +552,51 @@ func (s *Scheduler) planJob(jr *sched.JobRequest, fraction float64, jp *sched.Jo
 	}
 	jp.RetrainTime = s.assignRetraining(jr, nodePlans, spare, fraction)
 	jp.Nodes = nodePlans
-	return nil
 }
 
-// jobBaseFor computes (or recalls) the inference-side decisions of a
-// job at the fraction: structure per node, batch size, inference times.
-func (s *Scheduler) jobBaseFor(jr *sched.JobRequest, fraction float64) (*jobBase, error) {
-	key := baseKey{
-		app:       jr.Instance.App.Name,
-		requests:  jr.Requests,
-		fracMilli: fracKey(fraction),
+// computeJobBase is the step-3 cache-miss computation: structure per
+// node, batch size, inference times at the fraction. Reentrant — it
+// only touches the mutex-guarded latency memo and pool-distribution
+// cache, so misses for different jobs run concurrently. The caller
+// owns the cache insert.
+func (s *Scheduler) computeJobBase(jr *sched.JobRequest, fraction float64) (*jobBase, error) {
+	tables := jr.Costs.Tables()
+	base, _ := s.basePool.Get().(*jobBase)
+	if base == nil {
+		base = new(jobBase)
 	}
-	if base, ok := s.jobBaseCache[key]; ok {
-		return base, nil
-	}
-	idx := jr.Profile.Index()
-	base := &jobBase{
-		structs:    make([]dnn.Structure, len(idx)),
-		inferTimes: make([]simtime.Duration, len(idx)),
-	}
+	base.structs = resizeSlice(base.structs, len(tables))
+	base.inferTimes = resizeSlice(base.inferTimes, len(tables))
+	base.inferTotal = 0
 	if err := s.chooseStructures(jr, fraction, base.structs); err != nil {
+		s.basePool.Put(base)
 		return nil, err
 	}
 	batch, _, err := sched.BestBatch(jr, base.structs, fraction)
 	if err != nil {
+		s.basePool.Put(base)
 		return nil, err
 	}
 	base.batch = batch
 	nBatches := (jr.Requests + batch - 1) / batch
 	// Inference time: parallel DAG tasks are time-sliced in the job's
 	// space, so the job's inference time is the sum over tasks (§3.3.2).
-	for i, np := range idx {
-		sp, err := np.ForStructure(base.structs[i])
+	for i, t := range tables {
+		si, err := t.StructIdx(base.structs[i])
 		if err != nil {
+			s.basePool.Put(base)
 			return nil, err
 		}
-		per, err := sp.PerBatch(batch, fraction)
+		per, err := jr.Costs.PerBatch(i, si, t.BatchIdx(batch), fraction)
 		if err != nil {
+			s.basePool.Put(base)
 			return nil, err
 		}
 		it := per * simtime.Duration(nBatches)
 		base.inferTimes[i] = it
 		base.inferTotal += it
 	}
-	s.jobBaseCache[key] = base
+	base.stateTag = s.jobStateTag(jr)
 	return base, nil
 }
 
@@ -423,24 +649,24 @@ func (s *Scheduler) assignRetraining(jr *sched.JobRequest, nodePlans []sched.Nod
 // chooseStructures picks each node's structure into out (positional,
 // node order): the full structure when the node does not retrain this
 // period (or under /E), otherwise the fastest structure whose accuracy
-// clears the node threshold A_m.
+// clears the node threshold A_m. Latency comparisons go through the
+// job's flattened tables and probe memo.
 func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64, out []dnn.Structure) error {
-	idx := jr.Profile.Index()
+	tables := jr.Costs.Tables()
 	for i, ni := range jr.Instance.Nodes() {
 		full := ni.FullStructure()
-		needsExit := s.opts.PreferEarlyExit ||
-			(jr.Dag != nil && jr.Dag.NeedsRetrain(ni.Node.Name))
-		if s.opts.FullStructureOnly || !needsExit {
+		if s.opts.FullStructureOnly || !s.nodeStateMatters(jr, ni) {
 			out[i] = full
 			continue
 		}
-		poolDist, err := ni.PoolDist()
+		poolDist, _, err := s.poolDistFor(ni)
 		if err != nil {
 			return err
 		}
-		np := idx[i]
+		t := tables[i]
+		refBi := t.BatchIdx(referenceBatch)
 		best := full
-		bestPer, err := np.Full.PerBatch(referenceBatch, fraction)
+		bestPer, err := jr.Costs.PerBatch(i, t.FullIdx(), refBi, fraction)
 		if err != nil {
 			return err
 		}
@@ -454,11 +680,11 @@ func (s *Scheduler) chooseStructures(jr *sched.JobRequest, fraction float64, out
 			if ni.State.AccuracyWith(poolDist, st) < ni.Node.AccThreshold {
 				continue
 			}
-			sp, err := np.ForStructure(st)
+			si, err := t.StructIdx(st)
 			if err != nil {
 				return err
 			}
-			per, err := sp.PerBatch(referenceBatch, fraction)
+			per, err := jr.Costs.PerBatch(i, si, refBi, fraction)
 			if err != nil {
 				return err
 			}

@@ -21,16 +21,29 @@ func (s *Scheduler) OnPeriodStart(ctx *sched.PeriodContext) (*sched.PeriodPlan, 
 		s.dags = make(map[string]*sched.RIDag)
 	}
 	// Drift, pools, and impact degrees change at period boundaries:
-	// drop the per-period plan memoization. The maps are cleared in
-	// place, not remade — they regrow to the same size every period.
+	// drop the per-period memoization (structure/batch choices and the
+	// pool distributions they read). reqFracCache survives — the SLO
+	// inversion runs at full structures against the immutable profile,
+	// so period boundaries cannot change its answers. The maps are
+	// cleared in place, not remade — they regrow to the same size every
+	// period; evicted jobBase values are recycled through the pool.
 	if s.reqFracCache == nil {
 		s.reqFracCache = make(map[reqKey]float64)
 	}
 	if s.jobBaseCache == nil {
 		s.jobBaseCache = make(map[baseKey]*jobBase)
 	}
-	clear(s.reqFracCache)
+	for _, base := range s.jobBaseCache {
+		s.basePool.Put(base)
+	}
 	clear(s.jobBaseCache)
+	s.poolDistMu.Lock()
+	clear(s.poolDists)
+	s.poolDistMu.Unlock()
+	// Re-arm a dormant plan memo: key churn is a function of this
+	// period's drift, which is about to be re-detected.
+	s.memoSkip = false
+	s.missStreak = 0
 	for i := range ctx.Jobs {
 		jr := &ctx.Jobs[i]
 		name := jr.Instance.App.Name

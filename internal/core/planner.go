@@ -1,0 +1,418 @@
+// Parallel, incremental planning machinery behind PlanSession: the
+// bounded worker pool that evaluates independent per-job candidate
+// searches concurrently, and the cross-period session-plan memo that
+// reuses a prior plan wholesale when every input it depended on is
+// bit-identical.
+//
+// Determinism argument. Workers only ever compute pure functions of
+// immutable inputs (profiles, padded request counts, per-period DAGs,
+// model states — none mutated during a session) and write results into
+// per-index slots; every merge into shared state (caches, the required
+// vector, the plan arena) happens serially in job-index order on the
+// calling goroutine, and the first error selected is the
+// lowest-indexed one. Two workers racing to fill the same memoized
+// probe compute identical values, so insertion order cannot change a
+// result. A plan produced with N workers is therefore byte-identical
+// to the serial one.
+//
+// Memo soundness. The memo key encodes every input the plan is a
+// function of: the session's GPU share (exact float bits), and per job
+// the application name, padded request count, profile fingerprint
+// (MemDigest), and per node the drift impact degree, the remaining
+// retraining-pool samples (for impacted nodes), and — for nodes whose
+// structure choice consults the model — the dnn.State version and the
+// retraining-pool distribution digest. Equal keys therefore imply the
+// full planning computation would produce an identical plan, with one
+// exception: planFull reads the per-period jobBaseCache, whose entries
+// were computed against the model state current at first use and are
+// deliberately not state-refreshed within a period (pre-existing
+// semantics). A plan assembled from such a stale-but-sanctioned entry
+// is not stored (see jobStateTag), so every stored plan is exactly
+// what a fresh computation under its key would produce.
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"adainf/internal/app"
+	"adainf/internal/dist"
+	"adainf/internal/profile"
+	"adainf/internal/sched"
+	"adainf/internal/simtime"
+	"adainf/internal/telemetry"
+)
+
+// Package-wide planner defaults. Experiment drivers construct
+// schedulers deep inside method closures, so binaries configure
+// planning through these rather than threading options through every
+// constructor. They are read once in New; atomics because experiment
+// arms construct schedulers concurrently.
+var (
+	defaultPlanWorkers atomic.Int64
+	defaultPlanMemoOff atomic.Bool
+)
+
+// SetDefaultPlanWorkers sets the candidate-search worker count used by
+// schedulers whose Options leave PlanWorkers zero. n ≤ 1 restores the
+// serial default. Plans are byte-identical at any worker count.
+func SetDefaultPlanWorkers(n int) { defaultPlanWorkers.Store(int64(n)) }
+
+// SetDefaultPlanMemo toggles cross-period session-plan memoization for
+// schedulers whose Options leave DisablePlanMemo false. Memoization
+// never changes a plan; it only skips recomputing one.
+func SetDefaultPlanMemo(on bool) { defaultPlanMemoOff.Store(!on) }
+
+// SetTelemetry attaches a telemetry collector: plan-memo events flow to
+// it. The serving engine wires this before a run; a nil collector (or
+// never calling this) keeps planning silent.
+func (s *Scheduler) SetTelemetry(tc *telemetry.Collector) { s.tel = tc }
+
+// SetPlanMemoVerify makes every memo hit additionally recompute the
+// full plan and check equivalence, turning a would-be-wrong reuse into
+// a hard error. The serving engine enables it whenever its runtime
+// auditor is active.
+func (s *Scheduler) SetPlanMemoVerify(on bool) { s.memoVerify = on }
+
+// PlanMemoStats returns the session-plan memo counters.
+func (s *Scheduler) PlanMemoStats() (hits, misses, invalidated uint64) {
+	return s.memoHits, s.memoMisses, s.memoInvalidated
+}
+
+func (s *Scheduler) notePlanMemo(ts simtime.Instant, outcome string, digest uint64) {
+	switch outcome {
+	case "hit":
+		s.memoHits++
+	case "miss":
+		s.memoMisses++
+	case "invalidated":
+		s.memoInvalidated++
+	}
+	s.tel.PlanMemo(ts, outcome, digest)
+}
+
+// parallelFor runs fn(0..n-1) over the scheduler's worker pool, the
+// calling goroutine included. Iterations must be independent: they may
+// only write state owned by their index (plus mutex-guarded memo
+// inserts of pure values). Serial when the pool is size 1.
+func (s *Scheduler) parallelFor(n int, fn func(k int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	for {
+		k := int(next.Add(1)) - 1
+		if k >= n {
+			break
+		}
+		fn(k)
+	}
+	wg.Wait()
+}
+
+// costsFor returns the scheduler's memoizing latency cache for the
+// profile, creating it on first use. Caches persist for the
+// scheduler's lifetime — the profile is immutable.
+func (s *Scheduler) costsFor(ap *profile.AppProfile) *profile.LatencyCache {
+	if c, ok := s.costs[ap]; ok {
+		return c
+	}
+	c := profile.NewLatencyCache(ap)
+	s.costs[ap] = c
+	return c
+}
+
+// poolDistEntry caches one node's retraining-pool label distribution
+// for the current period, with a digest of its exact probabilities for
+// the memo key.
+type poolDistEntry struct {
+	dist   *dist.Categorical
+	digest uint64
+}
+
+// poolDistFor returns the node's pool distribution, computed at most
+// once per period (NodeInstance.PoolDist allocates a fresh distribution
+// per call, and the pool only changes at AdvancePeriod). Safe for
+// concurrent workers; on a compute race the first stored entry wins so
+// every caller sees one pointer.
+func (s *Scheduler) poolDistFor(ni *app.NodeInstance) (*dist.Categorical, uint64, error) {
+	s.poolDistMu.Lock()
+	e, ok := s.poolDists[ni]
+	s.poolDistMu.Unlock()
+	if ok {
+		return e.dist, e.digest, nil
+	}
+	d, err := ni.PoolDist()
+	if err != nil {
+		return nil, 0, err
+	}
+	e = poolDistEntry{dist: d, digest: distDigest(d)}
+	s.poolDistMu.Lock()
+	if prev, ok := s.poolDists[ni]; ok {
+		e = prev
+	} else {
+		s.poolDists[ni] = e
+	}
+	s.poolDistMu.Unlock()
+	return e.dist, e.digest, nil
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// distDigest fingerprints a categorical distribution by the exact bit
+// patterns of its probabilities.
+func distDigest(d *dist.Categorical) uint64 {
+	h := fnvMix(uint64(fnvOffset), uint64(d.K()))
+	for c := 0; c < d.K(); c++ {
+		h = fnvMix(h, math.Float64bits(d.Prob(c)))
+	}
+	return h
+}
+
+// fnvDigest is FNV-1a over a byte slice — the memo key's telemetry
+// identity, computed only when a collector is attached (the map itself
+// uses the full key bytes, so digest collisions cannot conflate plans).
+func fnvDigest(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// memoKey serializes every plan input into s.keyBuf (see the package
+// comment's soundness argument). Call after request padding and DAG
+// binding. The returned slice aliases s.keyBuf.
+func (s *Scheduler) memoKey(ctx *sched.SessionContext) ([]byte, error) {
+	b := s.keyBuf[:0]
+	b = appendU64(b, math.Float64bits(ctx.GPUShare))
+	for i := range ctx.Jobs {
+		jr := &ctx.Jobs[i]
+		b = append(b, jr.Instance.App.Name...)
+		b = append(b, 0)
+		b = appendU64(b, uint64(int64(jr.Requests)))
+		b = appendU64(b, jr.Profile.MemDigest)
+		if jr.Requests <= 0 {
+			continue
+		}
+		for _, ni := range jr.Instance.Nodes() {
+			var impact float64
+			if jr.Dag != nil {
+				impact = jr.Dag.Impact[ni.Node.Name]
+			}
+			// BuildRIDag only records positive degrees, so zero bits
+			// unambiguously mean "not retraining this period".
+			b = appendU64(b, math.Float64bits(impact))
+			if impact > 0 {
+				b = appendU64(b, uint64(int64(ni.RemainingSamples())))
+			}
+			// Inlined nodeStateMatters with the Impact lookup already in
+			// hand: NeedsRetrain ≡ impact > 0.
+			if !s.opts.FullStructureOnly && (s.opts.PreferEarlyExit || impact > 0) {
+				b = appendU64(b, ni.State.Version())
+				_, dg, err := s.poolDistFor(ni)
+				if err != nil {
+					return nil, err
+				}
+				b = appendU64(b, dg)
+			}
+		}
+	}
+	s.keyBuf = b
+	return b, nil
+}
+
+// nodeStateMatters reports whether the node's model state enters the
+// plan — exactly when chooseStructures consults AccuracyWith for it.
+func (s *Scheduler) nodeStateMatters(jr *sched.JobRequest, ni *app.NodeInstance) bool {
+	if s.opts.FullStructureOnly {
+		return false
+	}
+	return s.opts.PreferEarlyExit || (jr.Dag != nil && jr.Dag.NeedsRetrain(ni.Node.Name))
+}
+
+// jobStateTag folds the versions of the model states the job's cached
+// inference-side plan (jobBase) was derived from. planFull compares the
+// tag recorded at computation time against the current fold before
+// storing a memo entry: a mismatch means incremental retraining moved
+// a state after the jobBase was cached, so the assembled plan reflects
+// the period's sanctioned-but-stale cache rather than a fresh
+// computation, and must not be served across periods.
+func (s *Scheduler) jobStateTag(jr *sched.JobRequest) uint64 {
+	h := uint64(fnvOffset)
+	for _, ni := range jr.Instance.Nodes() {
+		if s.nodeStateMatters(jr, ni) {
+			h = fnvMix(h, ni.State.Version())
+		}
+	}
+	return h
+}
+
+// planMemoCap bounds the memo; FIFO eviction. Steady workloads cycle
+// through a handful of keys, so the cap only matters during drift.
+const planMemoCap = 256
+
+// memoMissStreakLimit is the consecutive-miss count at which the memo
+// goes dormant until the next period. Twice the capacity: with FIFO
+// eviction such a streak proves every entry in the memo was stored
+// during the streak and cycled out unused, so a hit is no longer
+// possible without the key-churn conditions changing — which they only
+// do at a period boundary, where the memo re-arms.
+const memoMissStreakLimit = 2 * planMemoCap
+
+// memoEntry owns a deep copy of one stored plan.
+type memoEntry struct {
+	key    string
+	digest uint64
+	plan   sched.SessionPlan
+	jobs   []sched.JobPlan
+	nodes  []sched.NodePlan
+}
+
+// planMemo is the cross-period plan store. Not concurrency-safe; only
+// the serial sections of PlanSession touch it.
+type planMemo struct {
+	entries map[string]*memoEntry
+	order   []*memoEntry
+	free    []*memoEntry
+}
+
+func (m *planMemo) get(key []byte) *memoEntry {
+	if m.entries == nil {
+		return nil
+	}
+	return m.entries[string(key)]
+}
+
+// put deep-copies the plan under the key (recycling evicted entries'
+// storage) and reports the FIFO-evicted entry's digest, if any.
+func (m *planMemo) put(key []byte, digest uint64, plan *sched.SessionPlan) (evictedDigest uint64, evicted bool) {
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry, planMemoCap)
+	}
+	var e *memoEntry
+	if n := len(m.free); n > 0 {
+		e, m.free = m.free[n-1], m.free[:n-1]
+	} else {
+		e = &memoEntry{}
+	}
+	e.key = string(key)
+	e.digest = digest
+	copyPlanInto(e, plan)
+	m.entries[e.key] = e
+	m.order = append(m.order, e)
+	if len(m.order) > planMemoCap {
+		victim := m.order[0]
+		copy(m.order, m.order[1:])
+		m.order = m.order[:len(m.order)-1]
+		delete(m.entries, victim.key)
+		m.free = append(m.free, victim)
+		return victim.digest, true
+	}
+	return 0, false
+}
+
+// copyPlanInto deep-copies src into the entry's own storage: one jobs
+// slice plus a single shared nodes arena, pre-grown so sub-slices never
+// dangle.
+func copyPlanInto(e *memoEntry, src *sched.SessionPlan) {
+	total := 0
+	for i := range src.Jobs {
+		total += len(src.Jobs[i].Nodes)
+	}
+	if cap(e.jobs) < len(src.Jobs) {
+		e.jobs = make([]sched.JobPlan, 0, len(src.Jobs))
+	}
+	if cap(e.nodes) < total {
+		e.nodes = make([]sched.NodePlan, 0, total)
+	}
+	e.jobs, e.nodes = e.jobs[:0], e.nodes[:0]
+	for i := range src.Jobs {
+		jp := src.Jobs[i]
+		if len(jp.Nodes) > 0 {
+			start := len(e.nodes)
+			e.nodes = append(e.nodes, jp.Nodes...)
+			jp.Nodes = e.nodes[start:len(e.nodes):len(e.nodes)]
+		} else {
+			jp.Nodes = nil
+		}
+		e.jobs = append(e.jobs, jp)
+	}
+	e.plan = sched.SessionPlan{Session: src.Session, Overhead: src.Overhead, Jobs: e.jobs}
+}
+
+// plansEquivalent compares two plans field-for-field, Session excluded
+// (a memo hit patches it). Floats compare exactly: the memo contract is
+// bit-identity, not approximation.
+func plansEquivalent(a, b *sched.SessionPlan) bool {
+	if a.Overhead != b.Overhead || len(a.Jobs) != len(b.Jobs) {
+		return false
+	}
+	for i := range a.Jobs {
+		x, y := &a.Jobs[i], &b.Jobs[i]
+		if x.App != y.App || x.Fraction != y.Fraction || x.Batch != y.Batch ||
+			x.InferTime != y.InferTime || x.RetrainTime != y.RetrainTime ||
+			len(x.Nodes) != len(y.Nodes) {
+			return false
+		}
+		for j := range x.Nodes {
+			if x.Nodes[j] != y.Nodes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resizeSlice returns a zeroed slice of length n, reusing the backing
+// array when large enough.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adainf/internal/dist"
+	"adainf/internal/sched"
+)
+
+// bindPeriod runs a second scheduler's period hook against the fixture
+// instance sessionCtx just planned for, with the same parameters, so
+// two schedulers can plan the same jobs. Sharing the instance keeps
+// plans comparable with plansEquivalent (dnn.Structure compares by
+// architecture identity).
+func bindPeriod(t *testing.T, s *Scheduler) {
+	t.Helper()
+	pctx := &sched.PeriodContext{
+		Period: fxInstance.Period(),
+		Length: 50 * time.Second,
+		GPUs:   4,
+		Rand:   dist.NewRNG(3),
+		Jobs:   []sched.JobRequest{{Instance: fxInstance, Profile: fxProfile}},
+	}
+	if _, err := s.OnPeriodStart(pctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloneCtx copies a session context so each PlanSession call starts
+// from pristine request counts (planning pads Requests in place).
+func cloneCtx(ctx *sched.SessionContext) *sched.SessionContext {
+	c := *ctx
+	c.Jobs = append([]sched.JobRequest(nil), ctx.Jobs...)
+	return &c
+}
+
+// snapshotPlan deep-copies a plan out of the scheduler's reusable arena
+// so it survives the next PlanSession call.
+func snapshotPlan(p *sched.SessionPlan) *sched.SessionPlan {
+	var e memoEntry
+	copyPlanInto(&e, p)
+	return &e.plan
+}
+
+func TestPlanMemoHitReturnsEquivalentPlan(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	first, err := s.PlanSession(cloneCtx(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := snapshotPlan(first)
+	second, err := s.PlanSession(cloneCtx(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := s.PlanMemoStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if !plansEquivalent(saved, second) {
+		t.Fatalf("memo hit diverged:\n  first:  %+v\n  second: %+v", saved, second)
+	}
+	if second == &s.plan {
+		t.Fatal("hit returned the scheduler arena, not the stored entry")
+	}
+}
+
+func TestPlanMemoDisabled(t *testing.T) {
+	s := New(Options{DisablePlanMemo: true})
+	ctx := sessionCtx(t, s, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := s.PlanSession(cloneCtx(ctx)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses, inv := s.PlanMemoStats(); hits != 0 || misses != 0 || inv != 0 {
+		t.Fatalf("disabled memo recorded %d/%d/%d", hits, misses, inv)
+	}
+	if len(s.memo.entries) != 0 {
+		t.Fatal("disabled memo stored entries")
+	}
+}
+
+// TestPlanMemoOffEquivalence asserts memoization is value-neutral: a
+// memoizing scheduler and a memo-free one produce equivalent plans
+// session after session, including on hits.
+func TestPlanMemoOffEquivalence(t *testing.T) {
+	on := New(Options{})
+	ctx := sessionCtx(t, on, 8)
+	off := New(Options{DisablePlanMemo: true})
+	bindPeriod(t, off)
+	for round := 0; round < 4; round++ {
+		pOn, err := on.PlanSession(cloneCtx(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := snapshotPlan(pOn)
+		pOff, err := off.PlanSession(cloneCtx(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEquivalent(saved, pOff) {
+			t.Fatalf("round %d: memo on/off diverged", round)
+		}
+	}
+	if hits, _, _ := on.PlanMemoStats(); hits == 0 {
+		t.Fatal("equivalence check is vacuous: no memo hits occurred")
+	}
+}
+
+func TestPlanMemoVerifyCatchesTamper(t *testing.T) {
+	s := New(Options{})
+	s.SetPlanMemoVerify(true)
+	ctx := sessionCtx(t, s, 8)
+	if _, err := s.PlanSession(cloneCtx(ctx)); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.memo.entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(s.memo.entries))
+	}
+	// An honest hit under verification recomputes and passes.
+	if _, err := s.PlanSession(cloneCtx(ctx)); err != nil {
+		t.Fatalf("verified hit: %v", err)
+	}
+	for _, e := range s.memo.entries {
+		e.plan.Jobs[0].Batch++
+	}
+	_, err := s.PlanSession(cloneCtx(ctx))
+	if err == nil || !strings.Contains(err.Error(), "memo verification failed") {
+		t.Fatalf("tampered hit: err = %v, want verification failure", err)
+	}
+}
+
+// TestPlanMemoGoesDormantAfterMissStreak drives the memo through a run
+// of all-unique keys and asserts it stops keying after the streak
+// limit, then re-arms at the next period boundary.
+func TestPlanMemoGoesDormantAfterMissStreak(t *testing.T) {
+	s := New(Options{})
+	ctx := sessionCtx(t, s, 8)
+	for i := 0; i < memoMissStreakLimit; i++ {
+		// Distinct share bits → distinct memo key every session.
+		c := cloneCtx(ctx)
+		c.GPUShare = 0.5 + float64(i+1)*1e-9
+		if _, err := s.PlanSession(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.memoSkip {
+		t.Fatalf("memo still keying after %d consecutive misses", memoMissStreakLimit)
+	}
+	_, misses, _ := s.PlanMemoStats()
+	c := cloneCtx(ctx)
+	c.GPUShare = 0.75
+	if _, err := s.PlanSession(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, after, _ := s.PlanMemoStats(); after != misses {
+		t.Fatal("dormant memo still recording misses")
+	}
+	if _, err := s.OnPeriodStart(&sched.PeriodContext{
+		GPUs: 4, Length: 50 * time.Second, Rand: dist.NewRNG(5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.memoSkip || s.missStreak != 0 {
+		t.Fatal("period boundary did not re-arm the memo")
+	}
+}
+
+func TestPlanMemoEviction(t *testing.T) {
+	var m planMemo
+	plan := &sched.SessionPlan{Jobs: []sched.JobPlan{{Batch: 1}}}
+	for i := 0; i < planMemoCap; i++ {
+		key := []byte{byte(i), byte(i >> 8)}
+		if _, evicted := m.put(key, uint64(i)+1, plan); evicted {
+			t.Fatalf("eviction below capacity at %d", i)
+		}
+	}
+	dg, evicted := m.put([]byte{0xff, 0xff, 0x01}, uint64(planMemoCap)+1, plan)
+	if !evicted || dg != 1 {
+		t.Fatalf("overflow put: evicted=%v digest=%d, want FIFO victim 1", evicted, dg)
+	}
+	if len(m.entries) != planMemoCap || len(m.order) != planMemoCap {
+		t.Fatalf("memo size %d/%d after eviction, want %d", len(m.entries), len(m.order), planMemoCap)
+	}
+	if m.get([]byte{0, 0}) != nil {
+		t.Fatal("FIFO victim still present")
+	}
+	if m.get([]byte{1, 0}) == nil {
+		t.Fatal("survivor lost")
+	}
+}
+
+// TestParallelPlanningMatchesSerial plans an identical multi-job
+// session with a serial and a 4-worker scheduler and requires
+// equivalent plans — the tentpole determinism contract.
+func TestParallelPlanningMatchesSerial(t *testing.T) {
+	s1 := New(Options{PlanWorkers: 1, DisablePlanMemo: true})
+	ctx := sessionCtx(t, s1, 8)
+	base := ctx.Jobs[0]
+	for r := 1; r <= 6; r++ {
+		j := base
+		j.Requests = 3 * r
+		ctx.Jobs = append(ctx.Jobs, j)
+	}
+	s4 := New(Options{PlanWorkers: 4, DisablePlanMemo: true})
+	bindPeriod(t, s4)
+	if s4.workers != 4 {
+		t.Fatalf("workers = %d, want 4", s4.workers)
+	}
+	for round := 0; round < 3; round++ {
+		p1, err := s1.PlanSession(cloneCtx(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := snapshotPlan(p1)
+		p4, err := s4.PlanSession(cloneCtx(ctx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEquivalent(saved, p4) {
+			t.Fatalf("round %d: parallel plan diverged from serial", round)
+		}
+	}
+}
+
+func TestDefaultPlanWorkers(t *testing.T) {
+	SetDefaultPlanWorkers(3)
+	defer SetDefaultPlanWorkers(0)
+	if s := New(Options{}); s.workers != 3 {
+		t.Fatalf("default workers = %d, want 3", s.workers)
+	}
+	if s := New(Options{PlanWorkers: 2}); s.workers != 2 {
+		t.Fatal("per-scheduler option should beat the process default")
+	}
+	SetDefaultPlanMemo(false)
+	defer SetDefaultPlanMemo(true)
+	if s := New(Options{}); s.memoOn {
+		t.Fatal("process-wide memo disable ignored")
+	}
+	if s := New(Options{DisablePlanMemo: true}); s.memoOn {
+		t.Fatal("per-scheduler memo disable ignored")
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		s := &Scheduler{workers: workers}
+		var hits [100]atomic.Int32
+		s.parallelFor(len(hits), func(k int) { hits[k].Add(1) })
+		for k := range hits {
+			if got := hits[k].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, k, got)
+			}
+		}
+	}
+}

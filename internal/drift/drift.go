@@ -18,7 +18,7 @@ package drift
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"adainf/internal/app"
 	"adainf/internal/mathx"
@@ -113,7 +113,18 @@ func RankByDivergence(old, pool *synthdata.Dataset, pcaComponents int) ([]int, e
 	for i, s := range pool.Samples {
 		xs[i] = scored{idx: i, dist: mathx.CosineDistance(pca.Project(s.Features), oldMean)}
 	}
-	sort.SliceStable(xs, func(i, j int) bool { return xs[i].dist > xs[j].dist })
+	// Typed stable sort: same ordering semantics as sort.SliceStable
+	// with a decreasing-distance less, minus the reflection-based
+	// swapper on the hot period-start path.
+	slices.SortStableFunc(xs, func(a, b scored) int {
+		switch {
+		case a.dist > b.dist:
+			return -1
+		case a.dist < b.dist:
+			return 1
+		}
+		return 0
+	})
 	out := make([]int, len(xs))
 	for i, s := range xs {
 		out[i] = s.idx
@@ -137,8 +148,21 @@ func DetectNode(ni *app.NodeInstance, cfg Config, rng *rand.Rand) (Report, error
 	}
 	full := ni.FullStructure()
 
+	// The probe's CorrectProb depends only on the sample's class (the
+	// state, pool distribution, and structure are fixed for the whole
+	// detection loop), so evaluate it once per class up front.
+	probByClass := make([]float64, poolDist.K())
+	for c := range probByClass {
+		probByClass[c] = ni.State.CorrectProb(c, poolDist, full)
+	}
+
 	stable := 0
 	var last bool
+	// covered/sum extend the probe sum incrementally: n never shrinks
+	// across rounds, and appending to a left-to-right running sum is
+	// bit-identical to re-summing ranked[:n] from scratch.
+	covered := 0
+	var sum float64
 	for s := cfg.InitialS; ; s += cfg.StepS {
 		if s > 1 {
 			s = 1
@@ -152,11 +176,10 @@ func DetectNode(ni *app.NodeInstance, cfg Config, rng *rand.Rand) (Report, error
 		// samples: the real system's probe errors are deterministic
 		// given the samples, so the Bernoulli abstraction would only
 		// add artificial noise here.
-		var acc float64
-		for _, idx := range ranked[:n] {
-			acc += ni.State.CorrectProb(ni.Pool.Samples[idx].Class, poolDist, full)
+		for ; covered < n; covered++ {
+			sum += probByClass[ni.Pool.Samples[ranked[covered]].Class]
 		}
-		acc /= float64(n)
+		acc := sum / float64(n)
 		impacted := acc < rep.InitialAccuracy-cfg.ImpactMargin
 		rep.Rounds = append(rep.Rounds, Round{
 			SFraction: s, SampleCount: n, ProbeAccuracy: acc, Impacted: impacted,

@@ -104,21 +104,25 @@ func goldenArms(t *testing.T) (labels []string, arms []arm) {
 	return labels, arms
 }
 
-func TestServingGoldens(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs the full quick fig18/fig22 arm set")
-	}
-	// Two periods: covers period boundaries, whole-pool retrain
-	// completions mid-period, and cross-period drift adaptation while
-	// staying affordable in CI.
-	//
-	// Audit is on: the invariant auditor is read-only, so every golden
-	// arm must reproduce the recorded (pre-auditor) metrics bit for bit
-	// while also passing the full invariant catalog — a violation fails
-	// the arm before the comparison.
+// goldenOptions are the run parameters every golden comparison uses.
+// Two periods: covers period boundaries, whole-pool retrain
+// completions mid-period, and cross-period drift adaptation while
+// staying affordable in CI.
+//
+// Audit is on: the invariant auditor is read-only, so every golden
+// arm must reproduce the recorded (pre-auditor) metrics bit for bit
+// while also passing the full invariant catalog — a violation fails
+// the arm before the comparison.
+func goldenOptions() Options {
 	o := Options{Quick: true, Seed: 3, Horizon: 100 * time.Second, Workers: 1, Audit: true}
 	o.fill()
+	return o
+}
 
+// goldenSnapshot runs every golden arm under the options and returns
+// the marshaled metrics map with its labels.
+func goldenSnapshot(t *testing.T, o Options) ([]byte, []string, map[string]goldenMetrics) {
+	t.Helper()
 	labels, arms := goldenArms(t)
 	got := make(map[string]goldenMetrics, len(arms))
 	for i := range arms {
@@ -131,31 +135,17 @@ func TestServingGoldens(t *testing.T) {
 		}
 		got[labels[i]] = goldenOf(r)
 	}
-
 	buf, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf = append(buf, '\n')
-	path := filepath.Join("testdata", "serving_goldens.json")
-	if *updateGoldens {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, buf, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s (%d arms)", path, len(arms))
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing goldens (re-record with -update): %v", err)
-	}
-	if string(want) == string(buf) {
-		return
-	}
-	// Report the first differing arm to make divergences debuggable.
+	return append(buf, '\n'), labels, got
+}
+
+// reportGoldenDiff pins the first differing arm when a snapshot
+// diverges from the committed goldens, to make divergences debuggable.
+func reportGoldenDiff(t *testing.T, want []byte, labels []string, got map[string]goldenMetrics) {
+	t.Helper()
 	var wantMap map[string]goldenMetrics
 	if err := json.Unmarshal(want, &wantMap); err != nil {
 		t.Fatalf("corrupt goldens: %v", err)
@@ -169,6 +159,69 @@ func TestServingGoldens(t *testing.T) {
 	}
 	if !t.Failed() {
 		t.Fatal("golden file differs (arm set changed?); re-record with -update if intended")
+	}
+}
+
+func TestServingGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick fig18/fig22 arm set")
+	}
+	buf, labels, got := goldenSnapshot(t, goldenOptions())
+	path := filepath.Join("testdata", "serving_goldens.json")
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d arms)", path, len(labels))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (re-record with -update): %v", err)
+	}
+	if string(want) == string(buf) {
+		return
+	}
+	reportGoldenDiff(t, want, labels, got)
+}
+
+// TestPlannerMatrixMatchesGoldens reruns the full golden arm set under
+// every other planner configuration — 4 workers and/or memoization off
+// — and requires byte-identical metrics against the committed goldens
+// (which TestServingGoldens checks at 1 worker with memoization on).
+// Audit stays on, so memo hits are additionally recomputed and
+// cross-checked by the scheduler itself (SetPlanMemoVerify).
+func TestPlannerMatrixMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick fig18/fig22 arm set three times")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "serving_goldens.json"))
+	if err != nil {
+		t.Fatalf("missing goldens (re-record with -update): %v", err)
+	}
+	configs := []struct {
+		name    string
+		workers int
+		memo    bool
+	}{
+		{"pw4-memo", 4, true},
+		{"pw1-nomemo", 1, false},
+		{"pw4-nomemo", 4, false},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			core.SetDefaultPlanWorkers(cfg.workers)
+			core.SetDefaultPlanMemo(cfg.memo)
+			defer core.SetDefaultPlanWorkers(0)
+			defer core.SetDefaultPlanMemo(true)
+			buf, labels, got := goldenSnapshot(t, goldenOptions())
+			if string(want) != string(buf) {
+				reportGoldenDiff(t, want, labels, got)
+			}
+		})
 	}
 }
 

@@ -236,6 +236,9 @@ type AppProfile struct {
 
 	indexOnce sync.Once
 	index     []*NodeProfiles
+
+	tablesOnce sync.Once
+	tables     []*Table
 }
 
 // NodeProfiles is the positional per-node view of an AppProfile used on

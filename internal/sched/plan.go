@@ -22,15 +22,38 @@ func PadRequests(predicted int) int {
 	return predicted + int(math.Ceil(2*math.Sqrt(float64(predicted))))
 }
 
+// AppendFullStructures appends every node's full structure to dst,
+// positionally aligned with Instance.Nodes() (= App.Nodes =
+// Profile.Index() order), reusing dst's capacity.
+func AppendFullStructures(dst []dnn.Structure, jr *JobRequest) []dnn.Structure {
+	for _, ni := range jr.Instance.Nodes() {
+		dst = append(dst, ni.FullStructure())
+	}
+	return dst
+}
+
 // FullStructures returns every node's full structure, positionally
 // aligned with Instance.Nodes() (= App.Nodes = Profile.Index() order).
 func FullStructures(jr *JobRequest) []dnn.Structure {
-	nodes := jr.Instance.Nodes()
-	out := make([]dnn.Structure, len(nodes))
-	for i, ni := range nodes {
-		out[i] = ni.FullStructure()
+	return AppendFullStructures(make([]dnn.Structure, 0, len(jr.Instance.Nodes())), jr)
+}
+
+// tables resolves the job's flattened latency tables, through its
+// memoizing cost cache when the caller installed one.
+func (jr *JobRequest) tables() []*profile.Table {
+	if jr.Costs != nil {
+		return jr.Costs.Tables()
 	}
-	return out
+	return jr.Profile.Tables()
+}
+
+// perBatch probes one (node, structure, batch) latency at the fraction,
+// through the job's cost cache when present.
+func (jr *JobRequest) perBatch(t *profile.Table, node, si, bi int, fraction float64) (simtime.Duration, error) {
+	if jr.Costs != nil {
+		return jr.Costs.PerBatch(node, si, bi, fraction)
+	}
+	return t.PerBatch(si, bi, fraction)
 }
 
 // JobWorstCase sums the worst-case inference latency over the job's
@@ -39,32 +62,50 @@ func FullStructures(jr *JobRequest) []dnn.Structure {
 // job's latency is the sum (§3.3.2).
 func JobWorstCase(jr *JobRequest, structs []dnn.Structure, batch int, fraction float64) (simtime.Duration, error) {
 	var total simtime.Duration
-	for i, np := range jr.Profile.Index() {
-		sp, err := np.ForStructure(structs[i])
+	nBatches := 0
+	if jr.Requests > 0 {
+		nBatches = (jr.Requests + batch - 1) / batch
+	}
+	for n, t := range jr.tables() {
+		si, err := t.StructIdx(structs[n])
 		if err != nil {
 			return 0, err
 		}
-		wc, err := sp.WorstCase(batch, jr.Requests, fraction)
+		if nBatches == 0 {
+			// No requests: zero latency, and (as with the map-walk
+			// implementation) no batch/fraction validation.
+			continue
+		}
+		per, err := jr.perBatch(t, n, si, t.BatchIdx(batch), fraction)
 		if err != nil {
 			return 0, err
 		}
-		total += wc
+		total += per * simtime.Duration(nBatches)
 	}
 	return total, nil
 }
 
 // BestBatch returns the profiled batch size minimizing the job's
-// worst-case latency at the fraction (Observations 5–6).
+// worst-case latency at the fraction (Observations 5–6). The scan
+// exploits the curve's near-unimodal shape — worst-case latency falls
+// while larger batches amortize fixed per-batch cost, then climbs once
+// the batch exceeds the request count — and stops after two
+// consecutive strict rises; a single rise is not trusted because the
+// ceil(requests/batch) step function can dip once more right after one.
+// TestBestBatchMatchesLinearScan cross-checks this against the full
+// linear scan over every profiled batch set.
 func BestBatch(jr *JobRequest, structs []dnn.Structure, fraction float64) (int, simtime.Duration, error) {
 	batches := profile.DefaultBatchSizes
-	if idx := jr.Profile.Index(); len(idx) > 0 && len(idx[0].Structures) > 0 {
-		batches = idx[0].Structures[0].Batches()
+	if tables := jr.tables(); len(tables) > 0 && tables[0].NumStructs() > 0 {
+		batches = tables[0].Batches()
 	}
 	var (
 		bestBatch int
 		bestLat   simtime.Duration
+		prev      simtime.Duration
+		rises     int
 	)
-	for _, b := range batches {
+	for k, b := range batches {
 		lat, err := JobWorstCase(jr, structs, b, fraction)
 		if err != nil {
 			return 0, 0, err
@@ -72,6 +113,14 @@ func BestBatch(jr *JobRequest, structs []dnn.Structure, fraction float64) (int, 
 		if bestBatch == 0 || lat < bestLat {
 			bestBatch, bestLat = b, lat
 		}
+		if k > 0 && lat > prev {
+			if rises++; rises >= 2 {
+				break
+			}
+		} else {
+			rises = 0
+		}
+		prev = lat
 	}
 	if bestBatch == 0 {
 		return 0, 0, fmt.Errorf("sched: no batch sizes profiled for %q", jr.Instance.App.Name)

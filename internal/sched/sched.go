@@ -100,6 +100,13 @@ type JobRequest struct {
 	// Requests is the (predicted) number of inference requests in the
 	// session.
 	Requests int
+	// Costs, when non-nil, memoizes the job's latency probes
+	// (JobWorstCase/BestBatch/RequiredFraction evaluate thousands of
+	// power-law points per plan; the underlying profile is immutable,
+	// so probes are cacheable across sessions and periods). Schedulers
+	// install a per-application cache; a nil Costs evaluates the
+	// profile tables directly.
+	Costs *profile.LatencyCache
 }
 
 // SessionContext is everything a scheduler sees when planning one

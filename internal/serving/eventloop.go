@@ -128,6 +128,19 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 			StrictShare: steady,
 		})
 	}
+	// Methods with planner instrumentation get the run's collector, and
+	// audited runs additionally recompute every memoized session plan to
+	// prove the reuse equivalent (core.Scheduler.SetPlanMemoVerify).
+	if t, ok := cfg.Method.(interface {
+		SetTelemetry(*telemetry.Collector)
+	}); ok {
+		t.SetTelemetry(cfg.Telemetry)
+	}
+	if l.aud != nil {
+		if v, ok := cfg.Method.(interface{ SetPlanMemoVerify(bool) }); ok {
+			v.SetPlanMemoVerify(true)
+		}
+	}
 	return l
 }
 
@@ -158,6 +171,11 @@ func (l *runLoop) run() error {
 			l.fail(err)
 		}
 		l.res.AuditChecks = l.aud.Checks()
+	}
+	if m, ok := l.cfg.Method.(interface {
+		PlanMemoStats() (uint64, uint64, uint64)
+	}); ok {
+		l.res.PlanMemoHits, l.res.PlanMemoMisses, l.res.PlanMemoInvalidated = m.PlanMemoStats()
 	}
 	l.tel.Counters(l.cfg.Clock.SessionStart(l.nSessions))
 	return l.err
@@ -519,7 +537,9 @@ func (l *runLoop) workSession(sess int) {
 	}
 	wall := time.Now()
 	plan, err := cfg.Method.PlanSession(ctx)
-	l.res.MeasuredSessionPlanning += time.Since(wall)
+	dt := time.Since(wall)
+	l.res.MeasuredSessionPlanning += dt
+	l.tel.PlanningObserve(dt)
 	if err != nil {
 		l.fail(err)
 		return

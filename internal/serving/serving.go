@@ -203,6 +203,16 @@ type Result struct {
 	InferLatency   telemetry.Summary
 	RetrainLatency telemetry.Summary
 	QueueDelay     telemetry.Summary
+
+	// PlanMemo* count the method's session-plan memo outcomes
+	// (diagnostic; zero for methods without plan memoization — a memo
+	// hit produces the byte-identical plan a recomputation would).
+	PlanMemoHits        uint64
+	PlanMemoMisses      uint64
+	PlanMemoInvalidated uint64
+	// PlanningTime summarizes the wall-clock planning histogram (zero
+	// unless Config.Telemetry had histograms enabled).
+	PlanningTime telemetry.Summary
 }
 
 // appState is the runtime bundle per application.
@@ -228,11 +238,32 @@ type appState struct {
 	// scheduler plans alias reusable arenas that a fallback job must not
 	// scribble over.
 	fallbackNodes []sched.NodePlan
-	// probs is runJob's per-class scratch buffer.
-	probs []float64
+	// probMemo caches each leaf's per-class correctness probabilities,
+	// keyed by everything that can change them: the period's live-dist
+	// snapshot (a fresh immutable clone each period, so pointer
+	// identity suffices), the model-state version (bumped by every
+	// effective Train), and the served structure. Scoring reuses the
+	// vector until one of those moves.
+	probMemo map[string]*leafProbs
+	// costs memoizes (node, structure, batch, fraction) latency probes
+	// behind the profile's flattened tables; runJob's inference-latency
+	// evaluation goes through it instead of the map-walk profile API.
+	costs *profile.LatencyCache
+	// tableIdx maps node name → costs table index (App.Nodes order).
+	tableIdx map[string]int
 	// digestCache/digestOK memoize digest() between mutations.
 	digestCache uint64
 	digestOK    bool
+}
+
+// leafProbs is one probMemo entry: the cached correctness vector and
+// the inputs it was computed from. probs is never mutated after
+// construction, so consumers may alias it.
+type leafProbs struct {
+	live    *dist.Categorical
+	version uint64
+	stct    dnn.Structure
+	probs   []float64
 }
 
 // pendingRetrain is a scheduled whole-pool retraining awaiting its
@@ -367,6 +398,12 @@ func Run(cfg Config) (*Result, error) {
 			updated:   make(map[string]bool, len(a.Nodes)),
 			carry:     make(map[string]float64, len(a.Nodes)),
 			leaves:    a.Leaves(),
+			costs:     profile.NewLatencyCache(prof),
+			tableIdx:  make(map[string]int, len(a.Nodes)),
+			probMemo:  make(map[string]*leafProbs, len(a.Nodes)),
+		}
+		for ti, tb := range st.costs.Tables() {
+			st.tableIdx[tb.Node()] = ti
 		}
 		for _, ni := range inst.Nodes() {
 			st.fallbackNodes = append(st.fallbackNodes, sched.NodePlan{
@@ -403,6 +440,7 @@ func Run(cfg Config) (*Result, error) {
 		res.InferLatency = tel.Infer.Summary()
 		res.RetrainLatency = tel.Retrain.Summary()
 		res.QueueDelay = tel.Queue.Summary()
+		res.PlanningTime = tel.Planning.Summary()
 	}
 	return res, nil
 }
@@ -496,12 +534,19 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 				}
 			}
 		}
-		// Inference at the realized request count.
-		sp, err := st.prof.StructureProfileFor(np.Node, np.Structure)
+		// Inference at the realized request count, through the
+		// flattened-table probe memo (same fitted laws as the map-walk
+		// profile API, so latencies are bit-identical).
+		ti, ok := st.tableIdx[np.Node]
+		if !ok {
+			return 0, false, fmt.Errorf("serving: no latency table for node %q of %q", np.Node, a.Name)
+		}
+		tb := st.costs.Tables()[ti]
+		si, err := tb.StructIdx(np.Structure)
 		if err != nil {
 			return 0, false, err
 		}
-		per, err := sp.PerBatch(batch, fraction)
+		per, err := st.costs.PerBatch(ti, si, tb.BatchIdx(batch), fraction)
 		if err != nil {
 			return 0, false, err
 		}
@@ -535,18 +580,23 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 				break
 			}
 		}
-		if cap(st.probs) < live.K() {
-			st.probs = make([]float64, live.K())
+		pm := st.probMemo[leaf]
+		if pm == nil || pm.live != live || pm.version != ni.State.Version() || pm.stct != stct {
+			probs := make([]float64, live.K())
+			for c := range probs {
+				probs[c] = ni.State.CorrectProb(c, live, stct)
+			}
+			pm = &leafProbs{live: live, version: ni.State.Version(), stct: stct, probs: probs}
+			st.probMemo[leaf] = pm
 		}
-		probs := st.probs[:live.K()]
-		for c := range probs {
-			probs[c] = ni.State.CorrectProb(c, live, stct)
-		}
+		probs := pm.probs
 		usedUpdated := st.updated[leaf]
 		if memo != nil {
+			// pm.probs is immutable once built, so the fast-forward
+			// memo can alias it instead of copying.
 			mleaves = append(mleaves, ffLeaf{
 				live:        live,
-				probs:       append([]float64(nil), probs...),
+				probs:       probs,
 				usedUpdated: usedUpdated,
 			})
 		}

@@ -23,7 +23,8 @@ var requiredFields = map[string][]string{
 	EvRetrainDiscard: {"app", "node", "samples"},
 	EvEvict:          {"app", "model", "layer", "kind", "bytes", "score", "pin"},
 	EvCache:          {"app", "hit"},
-	EvCounters:       {"ff_hits", "ff_misses", "cache_hits", "cache_misses"},
+	EvPlanMemo:       {"outcome", "digest"},
+	EvCounters:       {"ff_hits", "ff_misses", "cache_hits", "cache_misses", "plan_hits", "plan_misses", "plan_invalidated"},
 }
 
 // Validate reads a JSONL decision trace and checks every line against
@@ -168,6 +169,10 @@ func ExportChrome(r io.Reader, w io.Writer) error {
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: "fast-forward", Phase: "C", TS: ts, PID: pidControl, TID: 0,
 				Args: map[string]any{"hits": m["ff_hits"], "misses": m["ff_misses"]},
+			})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "plan-memo", Phase: "C", TS: ts, PID: pidControl, TID: 0,
+				Args: map[string]any{"hits": m["plan_hits"], "misses": m["plan_misses"]},
 			})
 		}
 	}

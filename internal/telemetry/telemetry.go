@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"strconv"
+	"time"
 	"unicode/utf8"
 
 	"adainf/internal/simtime"
@@ -25,7 +26,8 @@ const (
 	EvRetrainDiscard = "retrain_discard" // app, node, samples
 	EvEvict          = "evict"           // gpumem eviction: app, model, layer, kind, bytes, score, pin
 	EvCache          = "cache"           // profile-cache lookup: app, hit
-	EvCounters       = "counters"        // running counters: ff_hits, ff_misses, cache_hits, cache_misses
+	EvPlanMemo       = "plan_memo"       // session-plan memo lookup: outcome, digest
+	EvCounters       = "counters"        // running counters: ff_hits, ff_misses, cache_hits, cache_misses, plan_hits, plan_misses, plan_invalidated
 )
 
 // Options configures a Collector.
@@ -52,13 +54,17 @@ type Collector struct {
 	Infer   *Histogram
 	Retrain *Histogram
 	Queue   *Histogram
+	// Planning is the wall-clock time per PlanSession call, in ms (nil
+	// unless Options.Hist) — the planner cost fig tables report.
+	Planning *Histogram
 
 	w   *bufio.Writer
 	buf []byte
 	err error
 
-	ffHits, ffMisses       uint64
-	cacheHits, cacheMisses uint64
+	ffHits, ffMisses                      uint64
+	cacheHits, cacheMisses                uint64
+	planHits, planMisses, planInvalidated uint64
 }
 
 // New returns a collector for the options, or nil (the no-op) when the
@@ -76,6 +82,7 @@ func New(o Options) *Collector {
 		c.Infer = NewHistogram()
 		c.Retrain = NewHistogram()
 		c.Queue = NewHistogram()
+		c.Planning = NewHistogram()
 	}
 	return c
 }
@@ -352,6 +359,49 @@ func (c *Collector) Cache(app string, hit bool) {
 	c.end()
 }
 
+// PlanMemo counts one session-plan memo lookup outcome ("hit", "miss",
+// or "invalidated" for an evicted entry) and emits it. The digest
+// identifies the plan key (hex, so the full 64 bits survive JSON).
+func (c *Collector) PlanMemo(ts simtime.Instant, outcome string, digest uint64) {
+	if c == nil {
+		return
+	}
+	switch outcome {
+	case "hit":
+		c.planHits++
+	case "miss":
+		c.planMisses++
+	case "invalidated":
+		c.planInvalidated++
+	}
+	if c.w == nil {
+		return
+	}
+	c.begin(ts, EvPlanMemo)
+	c.fStr("outcome", outcome)
+	c.buf = append(c.buf, `,"digest":"`...)
+	c.buf = strconv.AppendUint(c.buf, digest, 16)
+	c.buf = append(c.buf, '"')
+	c.end()
+}
+
+// PlanningObserve feeds one PlanSession wall-clock duration into the
+// planning histogram.
+func (c *Collector) PlanningObserve(d time.Duration) {
+	if c == nil || c.Planning == nil {
+		return
+	}
+	c.Planning.ObserveMs(float64(d.Nanoseconds()) * 1e-6)
+}
+
+// PlanMemoCounts returns the session-plan memo counters.
+func (c *Collector) PlanMemoCounts() (hits, misses, invalidated uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.planHits, c.planMisses, c.planInvalidated
+}
+
 // FF counts one fast-forward memo lookup outcome.
 func (c *Collector) FF(hit bool) {
 	if c == nil {
@@ -391,5 +441,8 @@ func (c *Collector) Counters(ts simtime.Instant) {
 	c.fInt("ff_misses", int64(c.ffMisses))
 	c.fInt("cache_hits", int64(c.cacheHits))
 	c.fInt("cache_misses", int64(c.cacheMisses))
+	c.fInt("plan_hits", int64(c.planHits))
+	c.fInt("plan_misses", int64(c.planMisses))
+	c.fInt("plan_invalidated", int64(c.planInvalidated))
 	c.end()
 }

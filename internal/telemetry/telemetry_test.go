@@ -133,6 +133,10 @@ func emitAll(c *Collector) {
 	c.Cache("social-media", false)
 	c.FF(true)
 	c.FF(false)
+	c.PlanMemo(ts, "miss", 0xdeadbeef)
+	c.PlanMemo(ts, "hit", 0xdeadbeef)
+	c.PlanMemo(ts, "invalidated", 0xfeedface)
+	c.PlanningObserve(120 * time.Microsecond)
 	c.Counters(ts)
 }
 
@@ -165,6 +169,12 @@ func TestTraceSchemaRoundTrip(t *testing.T) {
 	}
 	if h, m := c.CacheCounts(); h != 1 || m != 1 {
 		t.Errorf("cache counts = %d/%d", h, m)
+	}
+	if h, m, inv := c.PlanMemoCounts(); h != 1 || m != 1 || inv != 1 {
+		t.Errorf("plan memo counts = %d/%d/%d", h, m, inv)
+	}
+	if c.Planning.Count() != 1 {
+		t.Error("planning histogram did not observe")
 	}
 	if !c.HistEnabled() || c.Infer.Count() != 1 || c.Retrain.Count() != 1 || c.Queue.Count() != 1 {
 		t.Error("histograms did not observe the job")

@@ -8,6 +8,10 @@
 #                                       # wall-clock regression
 #   scripts/bench.sh -workers 1 ...     # extra args forwarded to
 #                                       # cmd/bench
+#   scripts/bench.sh -plan-workers 4    # additionally record a
+#                                       # 4-worker planner variant per
+#                                       # artifact ("<name>-pw4") and
+#                                       # print its speedup vs serial
 #
 # By default the on-disk profile cache (results/profiles/) is used so
 # the run measures the serving engine, not repeated offline profiling;

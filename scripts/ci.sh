@@ -26,8 +26,8 @@ go test ./...
 # and auditor those runs exercise. -short skips the multi-minute
 # determinism sweeps; the full suite above already runs them
 # race-free.
-echo "== go test -race (experiments, serving, eventsim, core, gpumem, audit) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/... ./internal/gpumem/... ./internal/audit/...
+echo "== go test -race (experiments, serving, eventsim, core, sched, gpumem, audit) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/...
 
 # Fuzz smoke: a few seconds per target catches regressions in the
 # properties the fuzz corpora pin (regression-fit robustness, profile
@@ -50,9 +50,12 @@ go run ./cmd/tracecheck -q "$tracedir"/fig18-*.jsonl
 first=$(ls "$tracedir"/fig18-*.jsonl | head -1)
 go run ./cmd/tracecheck -q -chrome "$tracedir/smoke.chrome.json" "$first"
 
-# Quick bench smoke: regenerate the three benchmark artifacts and fail
-# on a >20% wall-clock regression vs results/BENCH_baseline.json.
+# Quick bench smoke: regenerate the three benchmark artifacts — the
+# serial planner plus the 4-worker variant — and fail on a >10%
+# serial wall-clock regression vs the recorded event-loop baseline
+# (variant entries have no baseline counterpart and never gate).
 echo "== bench smoke =="
-FAIL_ABOVE=0.2 scripts/bench.sh -workers 1
+FAIL_ABOVE=0.1 scripts/bench.sh -workers 1 -plan-workers 4 \
+    -baseline results/BENCH_2026-08-06-eventloop.json
 
 echo "CI OK"
