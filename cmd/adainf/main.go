@@ -48,6 +48,8 @@ func main() {
 			"scheduler candidate-search workers per session plan (0 = one per CPU, 1 = serial; metrics are byte-identical either way)")
 		planMemo = flag.Bool("plan-memo", true,
 			"memoize session plans across periods (metrics are byte-identical either way)")
+		profileWorkers = flag.Int("profile-workers", 0,
+			"offline-profiler work units measured concurrently (0 = one per CPU, 1 = serial; profiles are byte-identical either way)")
 	)
 	flag.Parse()
 	if *chromePath != "" && *tracePath == "" {
@@ -69,14 +71,6 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("profiling %d applications offline...\n", len(apps))
-	start := time.Now()
-	profiles, err := serving.BuildProfiles(apps, strat, policy)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("profiles ready in %v; simulating %v of serving...\n", time.Since(start).Round(time.Millisecond), *horizon)
-
 	var (
 		tel       *telemetry.Collector
 		traceFile *os.File
@@ -91,6 +85,21 @@ func main() {
 		}
 		tel = telemetry.New(topt)
 	}
+
+	pfw := *profileWorkers
+	if pfw == 0 {
+		pfw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("profiling %d applications offline...\n", len(apps))
+	start := time.Now()
+	profiles, err := serving.BuildProfilesWith(apps, strat, policy, serving.ProfileBuildOptions{
+		Telemetry: tel,
+		Workers:   pfw,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiles ready in %v; simulating %v of serving...\n", time.Since(start).Round(time.Millisecond), *horizon)
 
 	start = time.Now()
 	res, err := serving.Run(serving.Config{
@@ -142,6 +151,7 @@ func main() {
 		printSummary("retraining", res.RetrainLatency)
 		printSummary("queueing", res.QueueDelay)
 		printSummary("planning", res.PlanningTime)
+		printSummary("profiling", tel.Profiling.Summary())
 	}
 	if *tracePath != "" {
 		fmt.Printf("\ntrace written to %s\n", *tracePath)

@@ -27,8 +27,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"adainf/internal/app"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
+	"adainf/internal/gpu"
+	"adainf/internal/gpumem"
+	"adainf/internal/profile"
+	"adainf/internal/serving"
 )
 
 type benchResult struct {
@@ -39,6 +44,9 @@ type benchResult struct {
 	// PlanWorkers marks intra-run parallel-planner variants (absent on
 	// the serial measurements the baseline comparison runs against).
 	PlanWorkers int `json:"plan_workers,omitempty"`
+	// ProfileWorkers marks parallel-profiler variants, likewise absent
+	// on the serial measurements.
+	ProfileWorkers int `json:"profile_workers,omitempty"`
 }
 
 type benchFile struct {
@@ -83,7 +91,11 @@ func main() {
 			"exit non-zero if any artifact's wall-clock regresses more than this fraction vs the baseline (0 disables, e.g. 0.2 = +20%)")
 		planWorkers = flag.Int("plan-workers", 0,
 			"scheduler candidate-search workers for the parallel variant (0 = GOMAXPROCS; 1 skips the variant)")
-		planMemo = flag.Bool("plan-memo", true, "memoize session plans across periods")
+		planMemo       = flag.Bool("plan-memo", true, "memoize session plans across periods")
+		profileWorkers = flag.Int("profile-workers", 0,
+			"offline-profiler workers for the cold-profiling variant (0 = GOMAXPROCS; 1 skips the variant)")
+		profClear = flag.Bool("profile-cache-clear", false,
+			"clear the -profile-cache directory before measuring (forces the artifacts cold)")
 	)
 	flag.Parse()
 
@@ -91,7 +103,17 @@ func main() {
 	if pw == 0 {
 		pw = runtime.GOMAXPROCS(0)
 	}
+	pfw := *profileWorkers
+	if pfw == 0 {
+		pfw = runtime.GOMAXPROCS(0)
+	}
 	core.SetDefaultPlanMemo(*planMemo)
+	if *profClear && *profDir != "" {
+		if _, err := profile.CleanCache(*profDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: clearing profile cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -149,6 +171,35 @@ func main() {
 				p.Name, time.Duration(p.WallNS).Round(time.Millisecond), p.AllocsPerOp, p.BytesPerOp,
 				float64(r.WallNS)/float64(p.WallNS))
 		}
+	}
+
+	// Cold profiling: the dominant cost of any cold experiment run.
+	// Each measurement builds the full catalog's profiles into a fresh
+	// temporary cache directory, so the store path is included and no
+	// warm entry can satisfy the build. The serial entry anchors the
+	// baseline comparison; the pw<N> variant measures the parallel
+	// profiler's speedup.
+	cold, err := measureCold(1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: profile-cold failed: %v\n", err)
+		os.Exit(1)
+	}
+	cold.Name = "profile-cold"
+	out.Benchmarks = append(out.Benchmarks, cold)
+	fmt.Printf("%-12s %12v  %12d allocs  %14d B\n",
+		cold.Name, time.Duration(cold.WallNS).Round(time.Millisecond), cold.AllocsPerOp, cold.BytesPerOp)
+	if pfw > 1 {
+		coldP, err := measureCold(pfw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: profile-cold (profile-workers %d) failed: %v\n", pfw, err)
+			os.Exit(1)
+		}
+		coldP.Name = fmt.Sprintf("profile-cold-pw%d", pfw)
+		coldP.ProfileWorkers = pfw
+		out.Benchmarks = append(out.Benchmarks, coldP)
+		fmt.Printf("%-12s %12v  %12d allocs  %14d B  (%.2fx vs serial)\n",
+			coldP.Name, time.Duration(coldP.WallNS).Round(time.Millisecond), coldP.AllocsPerOp, coldP.BytesPerOp,
+			float64(cold.WallNS)/float64(coldP.WallNS))
 	}
 
 	if *memprofile != "" {
@@ -242,6 +293,54 @@ func measure(fn func(experiments.Options) (*experiments.Result, error),
 	}, nil
 }
 
+// measureCold times a from-scratch profile build of the full §4
+// catalog with w workers: a fresh temp cache directory per iteration
+// keeps every measurement cold (build + store, never a load). Unlike
+// the multi-second artifacts, one build runs in fractions of a
+// second, so the best of three iterations is reported to keep the
+// -fail-above gate off scheduler noise.
+func measureCold(w int) (benchResult, error) {
+	best := benchResult{}
+	for i := 0; i < 3; i++ {
+		r, err := measureColdOnce(w)
+		if err != nil {
+			return benchResult{}, err
+		}
+		if best.WallNS == 0 || r.WallNS < best.WallNS {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+func measureColdOnce(w int) (benchResult, error) {
+	dir, err := os.MkdirTemp("", "adainf-bench-profiles-")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	profs, err := serving.BuildProfilesWith(app.Catalog(), gpu.Strategy{MaximizeUsage: true},
+		func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} },
+		serving.ProfileBuildOptions{CacheDir: dir, Workers: w})
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if len(profs) == 0 {
+		return benchResult{}, fmt.Errorf("cold profiling produced no profiles")
+	}
+	return benchResult{
+		WallNS:      wall.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}, nil
+}
+
 func writeJSON(path string, v benchFile) error {
 	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -272,7 +371,7 @@ func compare(base, cur benchFile) {
 	fmt.Printf("%-8s %10s %10s %9s %8s %12s %12s %8s\n",
 		"bench", "base", "now", "speedup", "wall Δ%", "base allocs", "now allocs", "ratio")
 	for _, c := range cur.Benchmarks {
-		if c.PlanWorkers != 0 {
+		if c.PlanWorkers != 0 || c.ProfileWorkers != 0 {
 			continue // intra-run variant, compared against its own serial run above
 		}
 		b, ok := byName[c.Name]

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"adainf/internal/app"
@@ -26,6 +27,10 @@ func main() {
 		appName = flag.String("app", "video-surveillance", "application to profile")
 		list    = flag.Bool("list", false, "list available applications and exit")
 		alpha   = flag.Float64("alpha", 0.4, "priority-eviction weight α")
+		workers = flag.Int("workers", 0,
+			"profiling work units measured concurrently (0 = one per CPU, 1 = serial; profiles are byte-identical either way)")
+		cacheDir = flag.String("profile-cache", "results/profiles",
+			"directory for cached offline profiles (empty = always rebuild)")
 	)
 	flag.Parse()
 
@@ -47,16 +52,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
-	ap, err := profile.BuildAppProfile(target, profile.Config{
+	w := *workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	ap, info, err := profile.BuildAppProfileCachedInfo(target, profile.Config{
 		Strategy:  gpu.Strategy{MaximizeUsage: true},
 		NewPolicy: func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: *alpha} },
-	})
+		Workers:   w,
+	}, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "profiler:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("profiled %q in %v\n\n", target.Name, time.Since(start).Round(time.Millisecond))
+	cache := "cache miss"
+	switch {
+	case *cacheDir == "":
+		cache = "cache disabled"
+	case info.CacheHit:
+		cache = "cache hit"
+	}
+	fmt.Printf("profiled %q in %v (%s, %d units, %d workers)\n\n",
+		target.Name, info.Wall.Round(time.Millisecond), cache, info.Units, info.Workers)
 
 	for _, node := range target.Nodes {
 		fmt.Printf("## %s (%s)\n", node.Name, node.Model)

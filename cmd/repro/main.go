@@ -22,6 +22,7 @@ import (
 
 	"adainf/internal/core"
 	"adainf/internal/experiments"
+	"adainf/internal/profile"
 )
 
 var runners = map[string]func(experiments.Options) (*experiments.Result, error){
@@ -66,6 +67,10 @@ func main() {
 			"scheduler candidate-search workers per session plan (0 = one per CPU, 1 = serial; plans are byte-identical either way)")
 		planMemo = flag.Bool("plan-memo", true,
 			"memoize session plans across periods (plans are byte-identical either way)")
+		profileWorkers = flag.Int("profile-workers", 0,
+			"offline-profiler work units measured concurrently (0 = one per CPU, 1 = serial; profiles are byte-identical either way)")
+		profClear = flag.Bool("profile-cache-clear", false,
+			"clear the profile cache directory before running (forces a cold rebuild)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -75,6 +80,17 @@ func main() {
 	}
 	core.SetDefaultPlanWorkers(pw)
 	core.SetDefaultPlanMemo(*planMemo)
+	pfw := *profileWorkers
+	if pfw == 0 {
+		pfw = runtime.GOMAXPROCS(0)
+	}
+	profile.SetDefaultWorkers(pfw)
+	if *profClear && *profDir != "" {
+		if _, err := profile.CleanCache(*profDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: clearing profile cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -85,8 +101,8 @@ func main() {
 	}
 	opts := experiments.Options{
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
-		Workers: *parallel, ProfileCache: *profDir, Audit: *auditOn,
-		Hist: *histOn, TraceDir: *traceDir,
+		Workers: *parallel, ProfileCache: *profDir, ProfileWorkers: pfw,
+		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
 	}
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {

@@ -53,6 +53,12 @@ type Options struct {
 	// ProfileCache is a directory holding cached offline profiles
 	// (profile.BuildAppProfileCached). Empty profiles from scratch.
 	ProfileCache string
+	// ProfileWorkers bounds the offline profiler's concurrency
+	// (profile.Config.Workers): work units within one app's build and
+	// distinct apps across a catalog. 0 takes the package default
+	// (profile.SetDefaultWorkers); profiles are byte-identical at
+	// every value, so the figures never depend on it.
+	ProfileWorkers int
 	// Audit runs every simulation arm (and any profile build an arm
 	// triggers) under the runtime invariant auditor in fail-fast mode:
 	// the first violation fails the artifact. Metrics are bit-identical
@@ -234,7 +240,13 @@ type profileEntry struct {
 	err  error
 }
 
-func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool) (map[string]*profile.AppProfile, error) {
+// profilesFor builds (or reuses) the profiles for one memory
+// configuration. workers tunes only how fast the first caller builds —
+// it deliberately stays out of the single-flight key, since profiles
+// are byte-identical at every worker count.
+func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool,
+	workers int) (map[string]*profile.AppProfile, error) {
+
 	key := mem.name + "|" + appSetKey(apps)
 	if audit {
 		// Audited builds run extra (behaviour-preserving) checks; keep
@@ -245,11 +257,11 @@ func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool)
 	v, _ := profileCache.LoadOrStore(key, &profileEntry{})
 	e := v.(*profileEntry)
 	e.once.Do(func() {
-		build := serving.BuildProfilesCached
-		if audit {
-			build = serving.BuildProfilesAudited
-		}
-		e.p, e.err = build(apps, mem.strategy, mem.policy, cacheDir)
+		e.p, e.err = serving.BuildProfilesWith(apps, mem.strategy, mem.policy, serving.ProfileBuildOptions{
+			CacheDir: cacheDir,
+			Audit:    audit,
+			Workers:  workers,
+		})
 	})
 	return e.p, e.err
 }
@@ -260,7 +272,7 @@ func profilesFor(apps []*app.App, mem memoryConfig, cacheDir string, audit bool)
 func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 	retrain, divergent bool, mem memoryConfig) (*serving.Result, error) {
 
-	profs, err := profilesFor(apps, mem, o.ProfileCache, o.Audit)
+	profs, err := profilesFor(apps, mem, o.ProfileCache, o.Audit, o.ProfileWorkers)
 	if err != nil {
 		return nil, err
 	}

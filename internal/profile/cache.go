@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"adainf/internal/app"
 	"adainf/internal/dnn"
@@ -155,25 +156,101 @@ func StoreCached(dir string, a *app.App, cfg Config, ap *AppProfile) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// CacheMaxBytes bounds the total size of a profile cache directory.
+// Every successful store runs CleanCache(dir, CacheMaxBytes), so the
+// cache stays a working set instead of growing without bound across
+// configuration churn. Mutable for tests and unusual deployments.
+var CacheMaxBytes int64 = 1 << 30
+
+// CleanCache evicts cache entries from dir, oldest modification time
+// first (ties broken by filename), until the entries' total size is at
+// most maxBytes. Only `profile-*.gob` files are considered — temp
+// files, subdirectories, and foreign files are left alone. maxBytes 0
+// clears the cache. A missing dir is an empty cache. It returns how
+// many entries were removed.
+func CleanCache(dir string, maxBytes int64) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "profile-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent eviction
+		}
+		files = append(files, entry{name: name, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].name < files[j].name
+	})
+	removed := 0
+	for _, f := range files {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, f.name)); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		total -= f.size
+		removed++
+	}
+	return removed, nil
+}
+
 // LoadCached returns the cached profile for (a, cfg) from dir, or
 // (nil, false) when no valid entry exists. Any corruption, key
 // mismatch, or model/structure drift is treated as a miss — the caller
-// rebuilds and overwrites.
+// rebuilds and overwrites. An undecodable file is deleted on the spot
+// (it can never become valid again) and counted via the telemetry
+// cache-corrupt counter.
 func LoadCached(dir string, a *app.App, cfg Config) (*AppProfile, bool) {
+	ap, ok, corrupt := loadCached(dir, a, cfg)
+	if corrupt {
+		cfg.Telemetry.CacheCorrupt(a.Name)
+	}
+	return ap, ok
+}
+
+// loadCached is LoadCached with the corruption outcome surfaced.
+// corrupt is true only when the file existed but gob could not decode
+// it — in that case the file has already been removed. Structural
+// mismatches (stale key, model drift) are plain misses: the rename on
+// the next store overwrites them.
+func loadCached(dir string, a *app.App, cfg Config) (ap *AppProfile, ok, corrupt bool) {
 	key := CacheKey(a, cfg)
-	buf, err := os.ReadFile(cachePath(dir, key))
+	path := cachePath(dir, key)
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		return nil, false, false
 	}
 	var c cachedProfile
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&c); err != nil {
-		return nil, false
+		_ = os.Remove(path)
+		return nil, false, true
 	}
 	if c.Key != key || len(c.Nodes) != len(a.Nodes) {
-		return nil, false
+		return nil, false, false
 	}
 
-	ap := &AppProfile{
+	ap = &AppProfile{
 		App:        a,
 		Structures: make(map[string][]*StructureProfile, len(a.Nodes)),
 		Retrain:    make(map[string]*RetrainProfile, len(a.Nodes)),
@@ -187,20 +264,20 @@ func LoadCached(dir string, a *app.App, cfg Config) (*AppProfile, bool) {
 		node := &a.Nodes[i]
 		cn := &c.Nodes[i]
 		if cn.Name != node.Name {
-			return nil, false
+			return nil, false, false
 		}
-		arch, ok := dnn.ByName(node.Model)
-		if !ok {
-			return nil, false
+		arch, known := dnn.ByName(node.Model)
+		if !known {
+			return nil, false, false
 		}
 		structures := dnn.EarlyExitStructures(arch, 3)
 		if len(structures) != len(cn.Structures) {
-			return nil, false
+			return nil, false, false
 		}
 		for j, cs := range cn.Structures {
 			st := structures[j]
 			if st.ExitAfter() != cs.ExitAfter {
-				return nil, false
+				return nil, false, false
 			}
 			sp := &StructureProfile{
 				Structure: st,
@@ -219,7 +296,25 @@ func LoadCached(dir string, a *app.App, cfg Config) (*AppProfile, bool) {
 			Scaling:   cn.Retrain.Scaling,
 		}
 	}
-	return ap, true
+	return ap, true, false
+}
+
+// BuildInfo describes how one cached build was satisfied.
+type BuildInfo struct {
+	// CacheHit reports whether a valid disk entry skipped the build.
+	CacheHit bool
+	// CorruptEvicted reports whether an undecodable cache file was
+	// found (and deleted) during the lookup.
+	CorruptEvicted bool
+	// Workers is the resolved work-unit worker count the build ran (or
+	// would have run) with.
+	Workers int
+	// Units is the number of profiling work units the app decomposes
+	// into.
+	Units int
+	// Wall is the wall-clock time of the whole operation, lookup and
+	// store included.
+	Wall time.Duration
 }
 
 // BuildAppProfileCached is BuildAppProfile behind the disk cache in
@@ -228,18 +323,42 @@ func LoadCached(dir string, a *app.App, cfg Config) (*AppProfile, bool) {
 // (e.g. a read-only results directory in CI) are non-fatal: the built
 // profile is returned and the next run simply rebuilds.
 func BuildAppProfileCached(a *app.App, cfg Config, dir string) (*AppProfile, error) {
-	if dir == "" {
-		return BuildAppProfile(a, cfg)
+	ap, _, err := BuildAppProfileCachedInfo(a, cfg, dir)
+	return ap, err
+}
+
+// BuildAppProfileCachedInfo is BuildAppProfileCached with the build's
+// outcome surfaced — cache hit, corrupt-entry eviction, worker count,
+// and wall time. Every successful store also runs the cache's size GC
+// (CleanCache with CacheMaxBytes). The telemetry sequence per app is
+// fixed: cache-corrupt (if any) → cache hit/miss (only when caching) →
+// per-unit events from the build → profile_build last.
+func BuildAppProfileCachedInfo(a *app.App, cfg Config, dir string) (*AppProfile, BuildInfo, error) {
+	info := BuildInfo{Workers: cfg.workerCount(), Units: UnitCount(a)}
+	start := time.Now()
+	if dir != "" {
+		ap, ok, corrupt := loadCached(dir, a, cfg)
+		if corrupt {
+			info.CorruptEvicted = true
+			cfg.Telemetry.CacheCorrupt(a.Name)
+		}
+		if ok {
+			info.CacheHit = true
+			info.Wall = time.Since(start)
+			cfg.Telemetry.Cache(a.Name, true)
+			cfg.Telemetry.ProfileBuild(a.Name, info.Wall, info.Workers, info.Units, true)
+			return ap, info, nil
+		}
+		cfg.Telemetry.Cache(a.Name, false)
 	}
-	if ap, ok := LoadCached(dir, a, cfg); ok {
-		cfg.Telemetry.Cache(a.Name, true)
-		return ap, nil
-	}
-	cfg.Telemetry.Cache(a.Name, false)
 	ap, err := BuildAppProfile(a, cfg)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	_ = StoreCached(dir, a, cfg, ap)
-	return ap, nil
+	if dir != "" && StoreCached(dir, a, cfg, ap) == nil {
+		_, _ = CleanCache(dir, CacheMaxBytes)
+	}
+	info.Wall = time.Since(start)
+	cfg.Telemetry.ProfileBuild(a.Name, info.Wall, info.Workers, info.Units, false)
+	return ap, info, nil
 }

@@ -16,6 +16,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"adainf/internal/app"
 	"adainf/internal/dnn"
@@ -72,6 +74,15 @@ type Config struct {
 	// Pure observability: it never changes the built profile and does
 	// not enter the on-disk cache key.
 	Telemetry *telemetry.Collector
+	// Workers bounds how many profiling work units — one per (node,
+	// structure) measurement grid plus one retraining unit per node —
+	// are measured concurrently. 0 takes the package default
+	// (SetDefaultWorkers); values ≤ 1 profile serially. The built
+	// profile is byte-identical at every worker count (see the staged
+	// merge in BuildAppProfile). A tracing telemetry collector forces
+	// serial execution so the JSONL event order stays deterministic;
+	// Workers does not enter the on-disk cache key.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -301,14 +312,190 @@ func (ap *AppProfile) StructureProfileFor(node string, st dnn.Structure) (*Struc
 	return nil, fmt.Errorf("profile: app %q node %q has no profile for %v", ap.App.Name, node, st)
 }
 
+// Package-wide profiler default, mirroring core.SetDefaultPlanWorkers:
+// experiment drivers build profiles deep inside method closures and the
+// serving engine, so binaries configure profiling concurrency through
+// this rather than threading a worker count through every call site.
+// Read once per build; atomic because experiment arms build profiles
+// concurrently.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the profiling work-unit worker count used by
+// builds whose Config leaves Workers zero. n ≤ 1 restores the serial
+// default. Profiles are byte-identical at any worker count.
+func SetDefaultWorkers(n int) { defaultWorkers.Store(int64(n)) }
+
+// workerCount resolves Config.Workers against the package default and
+// the tracing constraint (a shared JSONL sink is single-goroutine and
+// its event order must stay deterministic).
+func (c *Config) workerCount() int {
+	w := c.Workers
+	if w == 0 {
+		w = int(defaultWorkers.Load())
+	}
+	if w < 1 || c.Telemetry.Tracing() {
+		w = 1
+	}
+	return w
+}
+
+// ResolvedWorkers reports the worker count a build under this config
+// runs with: Config.Workers resolved against the package default
+// (SetDefaultWorkers) and the tracing constraint. Callers layering
+// their own concurrency on top of the profiler (e.g. cross-app builds)
+// use it so every level obeys the same serial-when-tracing rule.
+func (c *Config) ResolvedWorkers() int { return c.workerCount() }
+
+// buildUnit is one independent measurement task of an app build: the
+// full batch × fraction grid of one (node, structure) pair, or — with
+// structIdx == -1 — one node's retraining sweep. Units share only
+// immutable inputs (the app, the resolved architectures, the config);
+// every partition and manager a unit profiles on is its own.
+type buildUnit struct {
+	nodeIdx   int
+	structIdx int
+	st        dnn.Structure
+	arch      *dnn.Arch
+}
+
+func (u *buildUnit) label() string {
+	if u.structIdx < 0 {
+		return "retrain"
+	}
+	return u.st.String()
+}
+
+// unitResult is a unit's staged output: its profile plus, in exact
+// measurement order, its contributions to the shared accumulators.
+// Float sums are not associative and the MemDigest fold is
+// order-sensitive, so contributions are replayed serially in canonical
+// unit order rather than merged as per-unit partials — that replay is
+// what makes a parallel build bit-identical to the serial one.
+type unitResult struct {
+	sp    *StructureProfile
+	rp    *RetrainProfile
+	stage unitStage
+	wall  time.Duration
+	err   error
+}
+
+// unitStage records one unit's shared-accumulator contributions in the
+// order the serial profiler would have produced them.
+type unitStage struct {
+	reuse   []reuseObs
+	digests []uint64
+}
+
+type reuseObs struct {
+	class gpumem.ReuseClass
+	mean  float64
+}
+
+// appUnits enumerates the build's work units in canonical order: node
+// by node in App.Nodes order, each node's structures shallowest exit
+// first, then the node's retraining unit — exactly the serial
+// profiler's measurement order.
+func appUnits(a *app.App, arches []*dnn.Arch) []buildUnit {
+	var units []buildUnit
+	for i := range a.Nodes {
+		arch := arches[i]
+		for j, st := range dnn.EarlyExitStructures(arch, 3) {
+			units = append(units, buildUnit{nodeIdx: i, structIdx: j, st: st, arch: arch})
+		}
+		units = append(units, buildUnit{nodeIdx: i, structIdx: -1, arch: arch})
+	}
+	return units
+}
+
+// UnitCount returns how many work units profiling the app decomposes
+// into (diagnostic; 0 when a node's model is unknown).
+func UnitCount(a *app.App) int {
+	n := 0
+	for i := range a.Nodes {
+		arch, ok := dnn.ByName(a.Nodes[i].Model)
+		if !ok {
+			return 0
+		}
+		n += len(dnn.EarlyExitStructures(arch, 3)) + 1
+	}
+	return n
+}
+
+// parallelUnits runs fn(0..n-1) over a bounded pool, the calling
+// goroutine included. Iterations must be independent: they may only
+// write state owned by their index. Serial when workers ≤ 1.
+func parallelUnits(workers, n int, fn func(k int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	for {
+		k := int(next.Add(1)) - 1
+		if k >= n {
+			break
+		}
+		fn(k)
+	}
+	wg.Wait()
+}
+
 // BuildAppProfile profiles every structure of every node of the
 // application under the config by executing them on fresh simulated
-// partitions.
+// partitions. With Config.Workers > 1 the independent work units run
+// concurrently; results are staged per unit and merged serially in
+// canonical node/structure order, so the output is byte-identical to a
+// serial build (gob bytes, MemDigest, and TypeReuse alike).
 func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
 	cfg.fillDefaults()
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	// Resolve every node's architecture up front, serially in node
+	// order, so unknown-model errors surface exactly as they always
+	// have. Arch values are immutable during profiling, so units may
+	// share them.
+	arches := make([]*dnn.Arch, len(a.Nodes))
+	for i := range a.Nodes {
+		arch, ok := dnn.ByName(a.Nodes[i].Model)
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown model %q", a.Nodes[i].Model)
+		}
+		arches[i] = arch
+	}
+	units := appUnits(a, arches)
+	results := make([]unitResult, len(units))
+	parallelUnits(cfg.workerCount(), len(units), func(k int) {
+		u := &units[k]
+		r := &results[k]
+		start := time.Now()
+		if u.structIdx < 0 {
+			r.rp, r.err = profileRetraining(a, &a.Nodes[u.nodeIdx], u.arch, cfg, &r.stage)
+		} else {
+			r.sp, r.err = profileStructure(a, &a.Nodes[u.nodeIdx], u.st, cfg, &r.stage)
+		}
+		r.wall = time.Since(start)
+	})
+
 	ap := &AppProfile{
 		App:        a,
 		Structures: make(map[string][]*StructureProfile, len(a.Nodes)),
@@ -317,25 +504,28 @@ func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
 	}
 	reuseSum := make(map[gpumem.ReuseClass]float64)
 	reuseN := make(map[gpumem.ReuseClass]int)
-
-	for i := range a.Nodes {
-		node := &a.Nodes[i]
-		arch, ok := dnn.ByName(node.Model)
-		if !ok {
-			return nil, fmt.Errorf("profile: unknown model %q", node.Model)
+	for k := range units {
+		u := &units[k]
+		r := &results[k]
+		if r.err != nil {
+			// Canonical order makes the lowest-indexed unit's error the
+			// one a serial build would have returned.
+			return nil, r.err
 		}
-		for _, st := range dnn.EarlyExitStructures(arch, 3) {
-			sp, err := profileStructure(a, node, st, cfg, reuseSum, reuseN, &ap.MemDigest)
-			if err != nil {
-				return nil, err
-			}
-			ap.Structures[node.Name] = append(ap.Structures[node.Name], sp)
+		node := &a.Nodes[u.nodeIdx]
+		if u.structIdx < 0 {
+			ap.Retrain[node.Name] = r.rp
+		} else {
+			ap.Structures[node.Name] = append(ap.Structures[node.Name], r.sp)
 		}
-		rp, err := profileRetraining(a, node, arch, cfg, reuseSum, reuseN, &ap.MemDigest)
-		if err != nil {
-			return nil, err
+		for _, d := range r.stage.digests {
+			ap.MemDigest = ap.MemDigest*1099511628211 ^ d
 		}
-		ap.Retrain[node.Name] = rp
+		for _, o := range r.stage.reuse {
+			reuseSum[o.class] += o.mean
+			reuseN[o.class]++
+		}
+		cfg.Telemetry.ProfileUnit(a.Name, node.Name, u.label(), r.wall)
 	}
 	for class, sum := range reuseSum {
 		ap.TypeReuse[class] = sum / float64(reuseN[class])
@@ -344,8 +534,7 @@ func BuildAppProfile(a *app.App, cfg Config) (*AppProfile, error) {
 }
 
 func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
-	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int,
-	digest *uint64) (*StructureProfile, error) {
+	stage *unitStage) (*StructureProfile, error) {
 
 	sp := &StructureProfile{
 		Structure: st,
@@ -385,7 +574,7 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 			sp.Points[batch][f] = Point{Batch: batch, Fraction: f, PerBatch: res.Total(), Comm: res.Comm}
 			fr = append(fr, f)
 			lat = append(lat, math.Max(float64(res.Total()), 1))
-			harvestReuse(part.Mem(), reuseSum, reuseN, digest)
+			stage.harvest(part.Mem())
 			if cfg.Audit {
 				if err := part.Mem().CheckInvariants(); err != nil {
 					return nil, fmt.Errorf("profile: %s/%v b=%d f=%g: %w", node.Name, st, batch, f, err)
@@ -402,8 +591,7 @@ func profileStructure(a *app.App, node *app.Node, st dnn.Structure, cfg Config,
 }
 
 func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
-	reuseSum map[gpumem.ReuseClass]float64, reuseN map[gpumem.ReuseClass]int,
-	digest *uint64) (*RetrainProfile, error) {
+	stage *unitStage) (*RetrainProfile, error) {
 
 	rp := &RetrainProfile{Arch: arch, PerSample: make(map[float64]simtime.Duration, len(cfg.Fractions))}
 	var fr, lat []float64
@@ -427,7 +615,7 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 		rp.PerSample[f] = per
 		fr = append(fr, f)
 		lat = append(lat, math.Max(float64(per), 1))
-		harvestReuse(part.Mem(), reuseSum, reuseN, digest)
+		stage.harvest(part.Mem())
 		if cfg.Audit {
 			if err := part.Mem().CheckInvariants(); err != nil {
 				return nil, fmt.Errorf("profile: %s retraining f=%g: %w", node.Name, f, err)
@@ -442,21 +630,21 @@ func profileRetraining(a *app.App, node *app.Node, arch *dnn.Arch, cfg Config,
 	return rp, nil
 }
 
-func harvestReuse(m *gpumem.Manager, sum map[gpumem.ReuseClass]float64, n map[gpumem.ReuseClass]int,
-	digest *uint64) {
-
+// harvest stages one profiled partition's reuse-time means and memory
+// fingerprint. The serial merge in BuildAppProfile later replays the
+// staged sequence: per-class sums accumulate in exactly the serial
+// order (float addition is not associative) and the digest fold keeps
+// partition order significant (FNV-style mix).
+func (st *unitStage) harvest(m *gpumem.Manager) {
 	for _, kind := range []gpumem.Kind{gpumem.KindParam, gpumem.KindIntermediate} {
 		for _, phase := range []gpumem.Phase{gpumem.PhaseInference, gpumem.PhaseRetraining} {
 			class := gpumem.ReuseClass{Kind: kind, Phase: phase}
 			if mean := m.TypeReuseMeanMs(class); mean >= 0 {
-				sum[class] += mean
-				n[class]++
+				st.reuse = append(st.reuse, reuseObs{class: class, mean: mean})
 			}
 		}
 	}
-	// Fold the partition's final memory state into the app profile's
-	// fingerprint (FNV-style mix keeps partition order significant).
-	*digest = *digest*1099511628211 ^ m.StateDigest()
+	st.digests = append(st.digests, m.StateDigest())
 }
 
 // WorstCase returns the worst-case inference latency of running

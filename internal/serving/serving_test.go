@@ -149,6 +149,42 @@ func TestBuildProfilesSharedAcrossClones(t *testing.T) {
 	}
 }
 
+// TestBuildProfilesWithParallelMatchesSerial pins the cross-app
+// parallel path: distinct apps built concurrently produce the same
+// profiles as the serial walk, and clone dedup still shares the built
+// profile by pointer.
+func TestBuildProfilesWithParallelMatchesSerial(t *testing.T) {
+	clone := *app.VideoSurveillance()
+	clone.Name = "video-surveillance-2"
+	apps := []*app.App{app.VideoSurveillance(), app.BikeRackOccupancy(), &clone}
+	strat := gpu.Strategy{MaximizeUsage: true}
+	policy := func() gpumem.Policy { return gpumem.PriorityPolicy{Alpha: 0.4} }
+
+	serial, err := BuildProfilesWith(apps, strat, policy, ProfileBuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildProfilesWith(apps, strat, policy, ProfileBuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel built %d profiles, serial %d", len(par), len(serial))
+	}
+	for name, sp := range serial {
+		pp, ok := par[name]
+		if !ok {
+			t.Fatalf("parallel build missing %q", name)
+		}
+		if pp.MemDigest != sp.MemDigest {
+			t.Errorf("%s: MemDigest %#x (parallel) vs %#x (serial)", name, pp.MemDigest, sp.MemDigest)
+		}
+	}
+	if par["video-surveillance-2"] != par["video-surveillance"] {
+		t.Error("clone no longer shares its base app's profile under the parallel build")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("nil method accepted")

@@ -23,8 +23,11 @@ var requiredFields = map[string][]string{
 	EvRetrainDiscard: {"app", "node", "samples"},
 	EvEvict:          {"app", "model", "layer", "kind", "bytes", "score", "pin"},
 	EvCache:          {"app", "hit"},
+	EvCacheCorrupt:   {"app"},
+	EvProfileBuild:   {"app", "wall_ms", "workers", "units", "cached"},
+	EvProfileUnit:    {"app", "node", "unit", "wall_ms"},
 	EvPlanMemo:       {"outcome", "digest"},
-	EvCounters:       {"ff_hits", "ff_misses", "cache_hits", "cache_misses", "plan_hits", "plan_misses", "plan_invalidated"},
+	EvCounters:       {"ff_hits", "ff_misses", "cache_hits", "cache_misses", "cache_corrupt", "plan_hits", "plan_misses", "plan_invalidated"},
 }
 
 // Validate reads a JSONL decision trace and checks every line against

@@ -15,19 +15,22 @@ import (
 // the remaining fields depend on the type (see Schema and DESIGN.md
 // §10).
 const (
-	EvRun            = "run"             // run header: method, gpus, horizon_ns, apps
-	EvPeriod         = "period"          // period boundary: period, first_session, last_session
-	EvImpact         = "impact"          // DAG shape: app, node, degree, retrain
-	EvPeriodPlan     = "period_plan"     // period, retrains, overhead_ns, cloud_bytes
-	EvSessionPlan    = "session_plan"    // session, share, overhead_ns, jobs
-	EvJobPlan        = "job_plan"        // session, app, fraction, batch, infer_ns, retrain_ns
-	EvJob            = "job"             // executed/replayed job: app, session, requests, …
-	EvRetrainApply   = "retrain_apply"   // app, node, samples, apply_session, plan_idx
-	EvRetrainDiscard = "retrain_discard" // app, node, samples
-	EvEvict          = "evict"           // gpumem eviction: app, model, layer, kind, bytes, score, pin
-	EvCache          = "cache"           // profile-cache lookup: app, hit
-	EvPlanMemo       = "plan_memo"       // session-plan memo lookup: outcome, digest
-	EvCounters       = "counters"        // running counters: ff_hits, ff_misses, cache_hits, cache_misses, plan_hits, plan_misses, plan_invalidated
+	EvRun            = "run"                   // run header: method, gpus, horizon_ns, apps
+	EvPeriod         = "period"                // period boundary: period, first_session, last_session
+	EvImpact         = "impact"                // DAG shape: app, node, degree, retrain
+	EvPeriodPlan     = "period_plan"           // period, retrains, overhead_ns, cloud_bytes
+	EvSessionPlan    = "session_plan"          // session, share, overhead_ns, jobs
+	EvJobPlan        = "job_plan"              // session, app, fraction, batch, infer_ns, retrain_ns
+	EvJob            = "job"                   // executed/replayed job: app, session, requests, …
+	EvRetrainApply   = "retrain_apply"         // app, node, samples, apply_session, plan_idx
+	EvRetrainDiscard = "retrain_discard"       // app, node, samples
+	EvEvict          = "evict"                 // gpumem eviction: app, model, layer, kind, bytes, score, pin
+	EvCache          = "cache"                 // profile-cache lookup: app, hit
+	EvCacheCorrupt   = "profile_cache_corrupt" // undecodable cache entry deleted: app
+	EvProfileBuild   = "profile_build"         // one app's profile build: app, wall_ms, workers, units, cached
+	EvProfileUnit    = "profile_unit"          // one profiling work unit: app, node, unit, wall_ms
+	EvPlanMemo       = "plan_memo"             // session-plan memo lookup: outcome, digest
+	EvCounters       = "counters"              // running counters: ff_hits, ff_misses, cache_hits, cache_misses, cache_corrupt, plan_hits, plan_misses, plan_invalidated
 )
 
 // Options configures a Collector.
@@ -57,6 +60,10 @@ type Collector struct {
 	// Planning is the wall-clock time per PlanSession call, in ms (nil
 	// unless Options.Hist) — the planner cost fig tables report.
 	Planning *Histogram
+	// Profiling is the wall-clock time per offline profile build, in ms
+	// (nil unless Options.Hist). Cache hits are not observed — the
+	// histogram measures actual measurement passes.
+	Profiling *Histogram
 
 	w   *bufio.Writer
 	buf []byte
@@ -64,6 +71,7 @@ type Collector struct {
 
 	ffHits, ffMisses                      uint64
 	cacheHits, cacheMisses                uint64
+	cacheCorrupt                          uint64
 	planHits, planMisses, planInvalidated uint64
 }
 
@@ -83,6 +91,7 @@ func New(o Options) *Collector {
 		c.Retrain = NewHistogram()
 		c.Queue = NewHistogram()
 		c.Planning = NewHistogram()
+		c.Profiling = NewHistogram()
 	}
 	return c
 }
@@ -359,6 +368,69 @@ func (c *Collector) Cache(app string, hit bool) {
 	c.end()
 }
 
+// CacheCorrupt counts one undecodable profile-cache entry (deleted on
+// discovery) and emits it.
+func (c *Collector) CacheCorrupt(app string) {
+	if c == nil {
+		return
+	}
+	c.cacheCorrupt++
+	if c.w == nil {
+		return
+	}
+	c.begin(0, EvCacheCorrupt)
+	c.fStr("app", app)
+	c.end()
+}
+
+// CacheCorruptCount returns the corrupt-cache-entry counter.
+func (c *Collector) CacheCorruptCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.cacheCorrupt
+}
+
+// ProfileBuild records one application's offline profile build: its
+// wall-clock time feeds the profiling histogram (cache hits excluded —
+// a hit measures the disk, not the profiler) and the build's shape is
+// emitted as a trace event. ts is 0: profiling happens before simulated
+// time starts.
+func (c *Collector) ProfileBuild(app string, wall time.Duration, workers, units int, cached bool) {
+	if c == nil {
+		return
+	}
+	if c.Profiling != nil && !cached {
+		c.Profiling.ObserveMs(float64(wall.Nanoseconds()) * 1e-6)
+	}
+	if c.w == nil {
+		return
+	}
+	c.begin(0, EvProfileBuild)
+	c.fStr("app", app)
+	c.fFloat("wall_ms", float64(wall.Nanoseconds())*1e-6)
+	c.fInt("workers", int64(workers))
+	c.fInt("units", int64(units))
+	c.fBool("cached", cached)
+	c.end()
+}
+
+// ProfileUnit emits one profiling work unit's span: the node, the unit
+// label (a structure's exit depth or "retrain"), and its wall-clock
+// time. Unit spans are trace-only; a tracing collector forces the
+// profiler serial, so emission order is deterministic.
+func (c *Collector) ProfileUnit(app, node, unit string, wall time.Duration) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(0, EvProfileUnit)
+	c.fStr("app", app)
+	c.fStr("node", node)
+	c.fStr("unit", unit)
+	c.fFloat("wall_ms", float64(wall.Nanoseconds())*1e-6)
+	c.end()
+}
+
 // PlanMemo counts one session-plan memo lookup outcome ("hit", "miss",
 // or "invalidated" for an evicted entry) and emits it. The digest
 // identifies the plan key (hex, so the full 64 bits survive JSON).
@@ -441,6 +513,7 @@ func (c *Collector) Counters(ts simtime.Instant) {
 	c.fInt("ff_misses", int64(c.ffMisses))
 	c.fInt("cache_hits", int64(c.cacheHits))
 	c.fInt("cache_misses", int64(c.cacheMisses))
+	c.fInt("cache_corrupt", int64(c.cacheCorrupt))
 	c.fInt("plan_hits", int64(c.planHits))
 	c.fInt("plan_misses", int64(c.planMisses))
 	c.fInt("plan_invalidated", int64(c.planInvalidated))

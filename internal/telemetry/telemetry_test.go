@@ -131,6 +131,9 @@ func emitAll(c *Collector) {
 	c.Evict(ts, "video-surveillance", "resnet50", 3, 0, 1<<20, 0.75, true)
 	c.Cache("video-surveillance", true)
 	c.Cache("social-media", false)
+	c.CacheCorrupt("social-media")
+	c.ProfileUnit("social-media", "sentiment", "full", 2*time.Millisecond)
+	c.ProfileBuild("social-media", 7*time.Millisecond, 4, 13, false)
 	c.FF(true)
 	c.FF(false)
 	c.PlanMemo(ts, "miss", 0xdeadbeef)

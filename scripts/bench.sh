@@ -12,10 +12,18 @@
 #                                       # 4-worker planner variant per
 #                                       # artifact ("<name>-pw4") and
 #                                       # print its speedup vs serial
+#   scripts/bench.sh -profile-workers 4 # additionally record the
+#                                       # 4-worker cold-profiling
+#                                       # entry ("profile-cold-pw4")
+#
+# Besides the figures, every run records "profile-cold": one
+# from-scratch build of the catalog's offline profiles into a fresh
+# temp cache (the dominant cost of any cold run).
 #
 # By default the on-disk profile cache (results/profiles/) is used so
-# the run measures the serving engine, not repeated offline profiling;
-# pass -profile-cache "" to measure cold.
+# the figure entries measure the serving engine, not repeated offline
+# profiling; pass -profile-cache "" to measure them cold, or
+# -profile-cache-clear to drop the cache first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec go run ./cmd/bench \

@@ -21,13 +21,13 @@ echo "== go test =="
 go test ./...
 
 # The race detector covers the concurrent pieces: the experiment
-# worker pool, the shared profile cache, the event engine, the
-# serving loop that consumes scheduler plans, and the memory manager
-# and auditor those runs exercise. -short skips the multi-minute
-# determinism sweeps; the full suite above already runs them
-# race-free.
-echo "== go test -race (experiments, serving, eventsim, core, sched, gpumem, audit) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/...
+# worker pool, the shared profile cache, the parallel offline
+# profiler, the event engine, the serving loop that consumes
+# scheduler plans, and the memory manager and auditor those runs
+# exercise. -short skips the multi-minute determinism sweeps; the
+# full suite above already runs them race-free.
+echo "== go test -race (experiments, serving, profile, eventsim, core, sched, gpumem, audit) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/profile/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/...
 
 # Fuzz smoke: a few seconds per target catches regressions in the
 # properties the fuzz corpora pin (regression-fit robustness, profile
@@ -51,11 +51,11 @@ first=$(ls "$tracedir"/fig18-*.jsonl | head -1)
 go run ./cmd/tracecheck -q -chrome "$tracedir/smoke.chrome.json" "$first"
 
 # Quick bench smoke: regenerate the three benchmark artifacts — the
-# serial planner plus the 4-worker variant — and fail on a >10%
-# serial wall-clock regression vs the recorded event-loop baseline
-# (variant entries have no baseline counterpart and never gate).
+# serial planner plus the 4-worker variant — plus the cold-profiling
+# entry (serial and 4-worker), and fail on a >10% serial wall-clock
+# regression vs the recorded profiler baseline.
 echo "== bench smoke =="
-FAIL_ABOVE=0.1 scripts/bench.sh -workers 1 -plan-workers 4 \
-    -baseline results/BENCH_2026-08-06-eventloop.json
+FAIL_ABOVE=0.1 scripts/bench.sh -workers 1 -plan-workers 4 -profile-workers 4 \
+    -baseline results/BENCH_2026-08-09-profiler.json
 
 echo "CI OK"
