@@ -21,6 +21,7 @@ import (
 	"adainf/internal/app"
 	"adainf/internal/baselines"
 	"adainf/internal/core"
+	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/mathx"
@@ -50,6 +51,12 @@ func main() {
 			"memoize session plans across periods (metrics are byte-identical either way)")
 		profileWorkers = flag.Int("profile-workers", 0,
 			"offline-profiler work units measured concurrently (0 = one per CPU, 1 = serial; profiles are byte-identical either way)")
+		faultSpec = flag.String("faults", "",
+			"deterministic fault injection: \"default\" or comma-separated k=v "+
+				"(retrain-fail, retrain-slow, slow-factor, retries, backoff, mem-fail, "+
+				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity); empty = disabled")
+		faultSeed = flag.Int64("fault-seed", 1,
+			"seed of the fault injector (independent of -seed; identical seeds give byte-identical injections)")
 	)
 	flag.Parse()
 	if *chromePath != "" && *tracePath == "" {
@@ -65,6 +72,15 @@ func main() {
 	apps, err := app.CatalogN(*nApps)
 	if err != nil {
 		fatal(err)
+	}
+	var faultCfg *faults.Config
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fc.Seed = *faultSeed
+		faultCfg = &fc
 	}
 	method, strat, policy, retrain, divergent, err := buildMethod(*methodName, *alpha)
 	if err != nil {
@@ -116,6 +132,7 @@ func main() {
 		PoolSamples:        *pool,
 		Profiles:           profiles,
 		Telemetry:          tel,
+		Faults:             faultCfg,
 	})
 	if err != nil {
 		fatal(err)
@@ -144,6 +161,13 @@ func main() {
 	if res.EdgeCloudBytes > 0 {
 		fmt.Printf("  edge-cloud:      %.1f GB in %.1fs per period\n",
 			float64(res.EdgeCloudBytes)/1e9, res.EdgeCloudTransfer.Seconds())
+	}
+	if faultCfg != nil {
+		fmt.Printf("  faults:          %d retrain fail / %d abandoned / %d slowed, %d incremental, "+
+			"%d degraded jobs, %d bursts, %d drift spikes\n",
+			res.FaultRetrainFailures, res.FaultRetrainAbandoned, res.FaultRetrainSlowed,
+			res.FaultIncrementalFailed+res.FaultIncrementalSlowed,
+			res.FaultDegradedJobs, res.FaultBursts, res.FaultDriftSpikes)
 	}
 	if *histOn {
 		fmt.Println("\nlatency quantiles (ms):")

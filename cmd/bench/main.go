@@ -30,6 +30,7 @@ import (
 	"adainf/internal/app"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
+	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/profile"
@@ -96,6 +97,11 @@ func main() {
 			"offline-profiler workers for the cold-profiling variant (0 = GOMAXPROCS; 1 skips the variant)")
 		profClear = flag.Bool("profile-cache-clear", false,
 			"clear the -profile-cache directory before measuring (forces the artifacts cold)")
+		faultSpec = flag.String("faults", "",
+			"deterministic fault injection: \"default\" or comma-separated k=v "+
+				"(adds injector overhead to the measurement; empty = disabled)")
+		faultSeed = flag.Int64("fault-seed", 1,
+			"seed of the fault injector (independent of -seed)")
 	)
 	flag.Parse()
 
@@ -141,6 +147,15 @@ func main() {
 	opts := experiments.Options{
 		Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
+	}
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		fc.Seed = *faultSeed
+		opts.Faults = &fc
 	}
 	for _, a := range artifacts {
 		// The plain-named measurement plans serially so the baseline

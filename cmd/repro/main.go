@@ -6,7 +6,7 @@
 //	repro all
 //
 // Artifacts: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2.
+// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2 resilience.
 //
 // Each artifact prints labelled series and tables matching the paper's
 // figure, plus notes comparing the measured shape to the published one.
@@ -22,29 +22,31 @@ import (
 
 	"adainf/internal/core"
 	"adainf/internal/experiments"
+	"adainf/internal/faults"
 	"adainf/internal/profile"
 )
 
 var runners = map[string]func(experiments.Options) (*experiments.Result, error){
-	"fig4":   experiments.Fig4,
-	"fig5":   experiments.Fig5,
-	"fig6":   experiments.Fig6,
-	"fig7":   experiments.Fig7,
-	"fig8":   experiments.Fig8,
-	"fig9":   experiments.Fig9,
-	"fig10":  experiments.Fig10,
-	"fig11":  experiments.Fig11,
-	"fig12":  experiments.Fig12,
-	"fig13":  experiments.Fig13,
-	"fig18":  experiments.Fig18,
-	"fig19":  experiments.Fig19,
-	"fig20":  experiments.Fig20,
-	"fig21":  experiments.Fig21,
-	"fig22":  experiments.Fig22,
-	"fig23":  experiments.Fig23,
-	"fig24":  experiments.Fig24,
-	"table1": experiments.Table1,
-	"table2": experiments.Table2,
+	"fig4":       experiments.Fig4,
+	"fig5":       experiments.Fig5,
+	"fig6":       experiments.Fig6,
+	"fig7":       experiments.Fig7,
+	"fig8":       experiments.Fig8,
+	"fig9":       experiments.Fig9,
+	"fig10":      experiments.Fig10,
+	"fig11":      experiments.Fig11,
+	"fig12":      experiments.Fig12,
+	"fig13":      experiments.Fig13,
+	"fig18":      experiments.Fig18,
+	"fig19":      experiments.Fig19,
+	"fig20":      experiments.Fig20,
+	"fig21":      experiments.Fig21,
+	"fig22":      experiments.Fig22,
+	"fig23":      experiments.Fig23,
+	"fig24":      experiments.Fig24,
+	"table1":     experiments.Table1,
+	"table2":     experiments.Table2,
+	"resilience": experiments.Resilience,
 }
 
 func main() {
@@ -71,6 +73,12 @@ func main() {
 			"offline-profiler work units measured concurrently (0 = one per CPU, 1 = serial; profiles are byte-identical either way)")
 		profClear = flag.Bool("profile-cache-clear", false,
 			"clear the profile cache directory before running (forces a cold rebuild)")
+		faultSpec = flag.String("faults", "",
+			"deterministic fault injection: \"default\" or comma-separated k=v "+
+				"(retrain-fail, retrain-slow, slow-factor, retries, backoff, mem-fail, "+
+				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity); empty = disabled")
+		faultSeed = flag.Int64("fault-seed", 1,
+			"seed of the fault injector (independent of -seed; identical seeds give byte-identical injections)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -103,6 +111,15 @@ func main() {
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
 		Workers: *parallel, ProfileCache: *profDir, ProfileWorkers: pfw,
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
+	}
+	if *faultSpec != "" {
+		fc, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(2)
+		}
+		fc.Seed = *faultSeed
+		opts.Faults = &fc
 	}
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {

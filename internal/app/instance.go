@@ -95,6 +95,13 @@ func (ni *NodeInstance) FullStructure() dnn.Structure {
 	return ni.Structures[len(ni.Structures)-1]
 }
 
+// SmallestStructure returns the node's shallowest-exit structure — the
+// cheapest deployable configuration, used as the graceful-degradation
+// fallback when GPU memory cannot be allocated for the planned one.
+func (ni *NodeInstance) SmallestStructure() dnn.Structure {
+	return ni.Structures[0]
+}
+
 // Instance is a live application: static DAG plus per-node state.
 type Instance struct {
 	App *App
@@ -186,6 +193,18 @@ func NewInstance(a *App, cfg InstanceConfig) (*Instance, error) {
 
 // Nodes returns the node instances in DAG (topological) order.
 func (i *Instance) Nodes() []*NodeInstance { return i.ordered }
+
+// ShockDrift applies an abrupt, out-of-schedule drift spike to every
+// node's stream: one class surges by intensity and its feature mean
+// shifts along its novelty direction, while the retraining pool —
+// already collected from the pre-shock distribution — goes stale. The
+// seed derives per-node sub-seeds with the same stride NewInstance uses,
+// so injection never consumes the streams' own RNG state.
+func (i *Instance) ShockDrift(seed int64, intensity float64) {
+	for k, ni := range i.ordered {
+		ni.Stream.Shock(dist.NewRNG(seed+int64(k)*7919), intensity)
+	}
+}
 
 // Period returns the current period index.
 func (i *Instance) Period() int { return i.period }

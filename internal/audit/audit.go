@@ -86,6 +86,18 @@ const (
 	// window must stay within capacity plus the documented overlap
 	// tolerance; larger overshoot means busy time was double-counted.
 	RuleUtilization = "gpu-utilization"
+	// RuleFaultRetrain: an injected retraining fault must respect the
+	// recovery policy — at most MaxRetries retries run, and a retried
+	// job that is not abandoned completes within the §3.3 retraining
+	// window (a retry that could not meet the window must be abandoned,
+	// leaving the stale model serving).
+	RuleFaultRetrain = "fault-retrain-window"
+	// RuleFaultDegrade: a GPU-memory fault's degraded job plan must be a
+	// sound graceful degradation — profiled structures only, no
+	// retraining slice, and per-node latency no worse than the planned
+	// structure's at the same batch and fraction, so degradation can
+	// never introduce an SLO violation the original plan lacked.
+	RuleFaultDegrade = "fault-degrade"
 )
 
 // Violation is one broken invariant with its structured context.
@@ -650,6 +662,124 @@ func (a *Auditor) auditJob(ctx *sched.SessionContext, plan *sched.SessionPlan,
 			}
 		}); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// OnFaultRetrain validates the fault transform of one planned
+// whole-pool retraining: the attempt count stays within the retry
+// budget (the first attempt plus at most maxRetries retries), and a
+// job that retried and was not abandoned completed within the §3.3
+// retraining window. A merely slowed job (one attempt) may complete
+// past the window — the boundary then discards it, exactly as an
+// un-faulted overrun would be.
+func (a *Auditor) OnFaultRetrain(planIdx, attempts, maxRetries int,
+	completion, windowEnd simtime.Instant, abandoned bool) error {
+
+	if err := a.check(attempts <= maxRetries+1, func() Violation {
+		return Violation{
+			Rule: RuleFaultRetrain, Period: a.period, Session: -1,
+			Detail: fmt.Sprintf("retrain %d ran %d attempts, budget %d (1 + %d retries)",
+				planIdx, attempts, maxRetries+1, maxRetries),
+		}
+	}); err != nil {
+		return err
+	}
+	if abandoned || attempts <= 1 {
+		return nil
+	}
+	return a.check(!completion.After(windowEnd), func() Violation {
+		return Violation{
+			Rule: RuleFaultRetrain, Period: a.period, Session: -1,
+			Detail: fmt.Sprintf("retrain %d retried to completion %v past the retraining window end %v",
+				planIdx, completion, windowEnd),
+		}
+	})
+}
+
+// OnFaultDegrade validates the degraded job plan substituted after a
+// transient GPU-memory allocation fault: it serves the same app, keeps
+// an executable allocation (positive fraction, batch ≥ 1), assigns no
+// retraining, uses only profiled structures, and — when the original
+// plan was active, sharing the degraded plan's batch and fraction — is
+// per-node no slower than the original, so degradation preserves every
+// latency SLO the plan met.
+func (a *Auditor) OnFaultDegrade(ctx *sched.SessionContext, job int,
+	orig, degraded *sched.JobPlan) error {
+
+	sess := ctx.Session
+	jr := &ctx.Jobs[job]
+	app := jr.Instance.App.Name
+	if err := a.check(degraded.App == app, func() Violation {
+		return Violation{
+			Rule: RuleFaultDegrade, Period: a.period, Session: sess, App: app,
+			Detail: fmt.Sprintf("degraded plan labelled %q", degraded.App),
+		}
+	}); err != nil {
+		return err
+	}
+	if err := a.check(degraded.Fraction > 0 && degraded.Fraction <= 1+eps && degraded.Batch >= 1, func() Violation {
+		return Violation{
+			Rule: RuleFaultDegrade, Period: a.period, Session: sess, App: app,
+			Detail: fmt.Sprintf("degraded allocation fraction %g, batch %d", degraded.Fraction, degraded.Batch),
+		}
+	}); err != nil {
+		return err
+	}
+	// Original per-node latencies, for the no-slower comparison. Only
+	// meaningful when the degraded plan inherited the original's batch
+	// and fraction (the substitution copies them from any active plan).
+	var origLat map[string]simtime.Duration
+	if orig != nil && orig.Fraction == degraded.Fraction && orig.Batch == degraded.Batch {
+		origLat = make(map[string]simtime.Duration, len(orig.Nodes))
+		for n := range orig.Nodes {
+			np := &orig.Nodes[n]
+			if sp, err := jr.Profile.StructureProfileFor(np.Node, np.Structure); err == nil {
+				if d, err := sp.PerBatch(orig.Batch, orig.Fraction); err == nil {
+					origLat[np.Node] = d
+				}
+			}
+		}
+	}
+	for n := range degraded.Nodes {
+		np := &degraded.Nodes[n]
+		if err := a.check(np.RetrainTime == 0 && np.RetrainSamples == 0, func() Violation {
+			return Violation{
+				Rule: RuleFaultDegrade, Period: a.period, Session: sess, App: app, Node: np.Node,
+				Detail: fmt.Sprintf("degraded plan assigns retraining (%v, %d samples) under a memory fault",
+					np.RetrainTime, np.RetrainSamples),
+			}
+		}); err != nil {
+			return err
+		}
+		sp, err := jr.Profile.StructureProfileFor(np.Node, np.Structure)
+		var lat simtime.Duration
+		if err == nil {
+			lat, err = sp.PerBatch(degraded.Batch, degraded.Fraction)
+		}
+		if cerr := a.check(err == nil, func() Violation {
+			return Violation{
+				Rule: RuleFaultDegrade, Period: a.period, Session: sess, App: app, Node: np.Node,
+				Detail: fmt.Sprintf("degraded structure not profiled at batch %d fraction %g: %v",
+					degraded.Batch, degraded.Fraction, err),
+			}
+		}); cerr != nil {
+			return cerr
+		}
+		if err != nil {
+			continue
+		}
+		if ol, ok := origLat[np.Node]; ok {
+			if cerr := a.check(lat <= ol, func() Violation {
+				return Violation{
+					Rule: RuleFaultDegrade, Period: a.period, Session: sess, App: app, Node: np.Node,
+					Detail: fmt.Sprintf("degraded latency %v exceeds planned structure's %v at batch %d fraction %g",
+						lat, ol, degraded.Batch, degraded.Fraction),
+				}
+			}); cerr != nil {
+				return cerr
+			}
 		}
 	}
 	return nil

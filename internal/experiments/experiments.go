@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"adainf/internal/app"
+	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/profile"
@@ -76,6 +77,12 @@ type Options struct {
 	// cmd/tracecheck). Like Audit and Hist, tracing never perturbs the
 	// simulation.
 	TraceDir string
+	// Faults, when non-nil with any probability set, runs every
+	// simulation arm under the deterministic fault injector
+	// (serving.Config.Faults). The fault configuration joins each arm's
+	// dedup key, and the Resilience artifact sweeps scenarios built
+	// from it.
+	Faults *faults.Config
 
 	// tracePath is the resolved per-arm trace file, set by runArms.
 	tracePath string
@@ -305,6 +312,7 @@ func run(o Options, apps []*app.App, m sched.Method, gpus float64,
 		Profiles:           profs,
 		Audit:              o.Audit,
 		Telemetry:          tel,
+		Faults:             o.Faults,
 	})
 	if cerr := tel.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("telemetry trace: %w", cerr)

@@ -185,12 +185,20 @@ func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) 
 		}
 	}
 	// Deduplicate identical configurations, preserving first-seen order.
+	// The fault configuration joins the key (it changes arm behaviour
+	// but not the workload seed, keeping faulted/fault-free runs
+	// paired on the same trace) so trace filenames and shared results
+	// never conflate fault scenarios.
+	faultKey := ""
+	if o.Faults.Enabled() {
+		faultKey = "|faults=" + o.Faults.String() + "@" + strconv.FormatInt(o.Faults.Seed, 10)
+	}
 	keys := make([]string, len(arms))
 	assign := make([]int, len(arms))
 	uniq := make([]int, 0, len(arms))
 	byKey := make(map[string]int, len(arms))
 	for i := range arms {
-		keys[i] = arms[i].configKey()
+		keys[i] = arms[i].configKey() + faultKey
 		if j, ok := byKey[keys[i]]; ok {
 			assign[i] = j
 			continue

@@ -11,6 +11,9 @@ import "fmt"
 //   - the residents list and the entries map agree (every locGPU
 //     entry is listed exactly once at its recorded index; nothing
 //     else is listed);
+//   - a content whose last allocation was denied by Config.FailAlloc
+//     is not resident (the fault-recovery invariant: denial sticks
+//     until a later acquire succeeds);
 //   - when Config.Audit is set, no earlier makeRoom call violated the
 //     eviction order (victims taken highest priority score first,
 //     S_c = (1−α)·R_c + α·L_s under the priority policy, with the
@@ -37,6 +40,12 @@ func (m *Manager) CheckInvariants() error {
 			nResident++
 			if e.resIdx < 0 || e.resIdx >= len(m.residents) || m.residents[e.resIdx] != e {
 				return fmt.Errorf("gpumem: resident entry %v has stale residents index %d", id, e.resIdx)
+			}
+			// Recovery invariant: a denied allocation keeps the content
+			// out of GPU memory until a later acquire succeeds (which
+			// clears the fault mark).
+			if e.faulted {
+				return fmt.Errorf("gpumem: entry %v resident despite unrecovered allocation fault", id)
 			}
 		case locPinned:
 			pin += e.content.Bytes

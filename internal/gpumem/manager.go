@@ -41,6 +41,14 @@ type Config struct {
 	// (victim identity, policy score, PIN placement). Read-only
 	// observability: tracing never changes behaviour.
 	Trace *telemetry.Collector
+	// FailAlloc, when non-nil, is consulted before each allocation that
+	// would make a content resident: returning true injects a transient
+	// allocation failure — no eviction runs, the access streams from
+	// CPU memory instead (the same graceful out-of-core path an
+	// over-capacity working set takes), and the content stays
+	// non-resident until a later acquire succeeds. Deterministic fault
+	// injectors plug in here; nil never fails.
+	FailAlloc func(id ContentID) bool
 }
 
 func (c *Config) fillDefaults() {
@@ -76,6 +84,10 @@ type Stats struct {
 	// unified-memory out-of-core DNN execution.
 	StreamedBytes int64
 	StreamedTime  simtime.Duration
+	// AllocFaults counts allocations denied by Config.FailAlloc; each
+	// denial degraded to a streamed access. Always zero without an
+	// installed failure hook.
+	AllocFaults uint64
 }
 
 // CommTime returns total CPU–GPU communication time, including
@@ -272,9 +284,20 @@ func (m *Manager) acquireOne(now simtime.Instant, a Access) simtime.Duration {
 		m.stats.Hits++
 	default:
 		m.stats.Misses++
-		// Make room first.
-		d, fits := m.makeRoom(now, a.Content.Bytes)
-		comm += d
+		// A transient allocation failure denies residency before any
+		// eviction runs; the access degrades to the streaming path below
+		// and the content stays non-resident until a later acquire
+		// succeeds.
+		var fits bool
+		if m.cfg.FailAlloc != nil && m.cfg.FailAlloc(id) {
+			m.stats.AllocFaults++
+			e.faulted = true
+		} else {
+			// Make room first.
+			var d simtime.Duration
+			d, fits = m.makeRoom(now, a.Content.Bytes)
+			comm += d
+		}
 		if !fits {
 			// Out-of-core: stream the content through GPU memory for
 			// this access only. Born-on-GPU contents stream out, CPU
@@ -315,6 +338,7 @@ func (m *Manager) acquireOne(now simtime.Instant, a Access) simtime.Duration {
 			}
 		}
 		e.loc = locGPU
+		e.faulted = false // a successful allocation recovers the entry
 		m.gpuUsed += a.Content.Bytes
 		m.residentAdd(e)
 	}
@@ -521,6 +545,11 @@ func (m *Manager) StateDigest() uint64 {
 	hashU64(m.stats.Evictions)
 	hashU64(uint64(m.stats.StreamedBytes))
 	hashU64(uint64(m.stats.StreamedTime))
+	// Fault state is hashed only when present, so fault-free managers
+	// keep the digests recorded before the failure hook existed.
+	if m.stats.AllocFaults != 0 {
+		hashU64(m.stats.AllocFaults)
+	}
 
 	// Entries in creation order (seq is unique and deterministic), so
 	// the digest does not depend on map iteration order.
@@ -548,6 +577,9 @@ func (m *Manager) StateDigest() uint64 {
 		hashU64(uint64(e.lastPhase))
 		hashU64(e.lastJob)
 		hashStr(e.lastModel)
+		if e.faulted {
+			hashU64(1)
+		}
 	}
 
 	// Reuse accumulators by fixed class enumeration.

@@ -38,6 +38,24 @@ func FullStructures(jr *JobRequest) []dnn.Structure {
 	return AppendFullStructures(make([]dnn.Structure, 0, len(jr.Instance.Nodes())), jr)
 }
 
+// AppendSmallestStructures appends every node's smallest (shallowest
+// exit) structure to dst, positionally aligned with Instance.Nodes().
+// This is the graceful-degradation candidate: the cheapest profiled
+// configuration a job can drop to when its planned structures cannot be
+// made resident (see serving's GPU-memory fault handling).
+func AppendSmallestStructures(dst []dnn.Structure, jr *JobRequest) []dnn.Structure {
+	for _, ni := range jr.Instance.Nodes() {
+		dst = append(dst, ni.SmallestStructure())
+	}
+	return dst
+}
+
+// SmallestStructures returns every node's smallest structure,
+// positionally aligned with Instance.Nodes().
+func SmallestStructures(jr *JobRequest) []dnn.Structure {
+	return AppendSmallestStructures(make([]dnn.Structure, 0, len(jr.Instance.Nodes())), jr)
+}
+
 // tables resolves the job's flattened latency tables, through its
 // memoizing cost cache when the caller installed one.
 func (jr *JobRequest) tables() []*profile.Table {

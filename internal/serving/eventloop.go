@@ -10,6 +10,7 @@ import (
 
 	"adainf/internal/audit"
 	"adainf/internal/eventsim"
+	"adainf/internal/faults"
 	"adainf/internal/metrics"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
@@ -74,6 +75,21 @@ type runLoop struct {
 
 	ff *fastForward
 
+	// flt, when non-nil, is the deterministic fault injector
+	// (Config.Faults). Every decision it hands out is a pure hash of
+	// the fault seed and stable coordinates, so the loop consults it
+	// freely without perturbing the shared RNG stream.
+	flt *faults.Injector
+	// faultWords holds the current session's per-app fault-decision
+	// bitmasks (see faults.Injector.SessionWord); they extend the
+	// fast-forward key so a replay always matches the decisions the
+	// memoized execution ran under.
+	faultWords []uint64
+	// faultBusy records the GPU busy windows of failed whole-pool
+	// retraining attempts for the current period, in plan order; they
+	// join the pending retrains in the session GPU-share computation.
+	faultBusy []busyWindow
+
 	// aud, when non-nil, validates every event against the invariant
 	// catalog (see internal/audit). It is read-only: it never touches
 	// the RNG or simulation state, so metrics stay bit-identical.
@@ -119,6 +135,9 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 	_, steady := cfg.Method.(sched.SteadyStatePlanner)
 	if steady && !cfg.DisableFastForward {
 		l.ff = newFastForward()
+	}
+	if l.flt = faults.New(cfg.Faults); l.flt != nil {
+		l.faultWords = make([]uint64, len(states))
 	}
 	if cfg.Audit || cfg.AuditReport != nil {
 		l.aud = audit.New(cfg.AuditReport, audit.Params{
@@ -225,7 +244,7 @@ func (l *runLoop) periodStart(period int) {
 		// Retrains still pending at the boundary never applied: the
 		// session loop's cleared pending list discarded them.
 		for i := range l.retrains {
-			if pr := &l.retrains[i]; !pr.applied {
+			if pr := &l.retrains[i]; !pr.applied && !pr.abandoned {
 				l.tel.RetrainDiscard(start, pr.App, pr.Node, pr.Samples)
 			}
 		}
@@ -249,6 +268,21 @@ func (l *runLoop) periodStart(period int) {
 		}
 		for _, st := range l.states {
 			st.inst.AdvancePeriod(cfg.PoolSamples)
+		}
+		if l.flt != nil {
+			// Drift spikes strike right after the boundary: the pool was
+			// collected from the pre-shock distribution, so the live
+			// distribution jumps away from everything the period's
+			// retraining data represents — the §3.2 detector and the
+			// schedulers have to catch up.
+			for _, st := range l.states {
+				name := st.inst.App.Name
+				if seed, intensity, ok := l.flt.DriftSpike(period, name); ok {
+					st.inst.ShockDrift(seed, intensity)
+					l.res.FaultDriftSpikes++
+					l.tel.DriftSpike(start, period, name, intensity)
+				}
+			}
 		}
 	}
 	for _, st := range l.states {
@@ -281,10 +315,26 @@ func (l *runLoop) periodStart(period int) {
 	}
 	for i, st := range l.states {
 		arow, prow := l.actual[i], l.predicted[i]
+		var burst faults.Burst
+		burstOK := false
+		if l.flt != nil {
+			if b, ok := l.flt.BurstFor(period, st.inst.App.Name, n); ok {
+				burst, burstOK = b, true
+				l.res.FaultBursts++
+				l.tel.Burst(start, period, st.inst.App.Name, b.Start, b.End-b.Start, b.Factor)
+			}
+		}
 		for s := 0; s < n; s++ {
 			ws := cfg.Clock.SessionStart(first + s)
 			we := ws.Add(cfg.Clock.Session)
 			a := st.gen.CountInWindow(ws, we)
+			if burstOK && s >= burst.Start && s < burst.End {
+				// The burst multiplies arrivals before the predictor
+				// observes them: predictions lag the surge, so plans are
+				// undersized exactly as a real flash crowd undersizes
+				// them.
+				a *= burst.Factor
+			}
 			p := st.pred.Predict()
 			st.pred.Observe(a)
 			arow[s], prow[s] = a, p
@@ -349,11 +399,54 @@ func (l *runLoop) periodStart(period int) {
 		}
 	}
 
+	l.faultBusy = l.faultBusy[:0]
 	if cfg.Retraining {
+		// The latest completion that still applies within this period:
+		// applySessionOf(c) ≤ last ⟺ c ≤ SessionStart(last). Faulted
+		// retries are only started when they can meet this window
+		// (§3.3); otherwise the job is abandoned and the stale model
+		// keeps serving.
+		windowEnd := cfg.Clock.SessionStart(last)
 		for i := range pplan.Retrains {
-			l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: pplan.Retrains[i]})
-			r := &pplan.Retrains[i]
-			if r.GPUFraction > 0 && r.Busy > 0 {
+			r := pplan.Retrains[i]
+			abandoned := false
+			if l.flt != nil && r.Busy > 0 && r.GPUFraction > 0 {
+				fate := l.flt.RetrainFate(period, i, r.App, r.Node, r.Completion, r.Busy, windowEnd)
+				if fate.Slowed {
+					l.res.FaultRetrainSlowed++
+					l.tel.RetrainFault(r.Completion, r.App, r.Node, "retrain-slow", 0)
+				}
+				for ai, at := range fate.Attempts {
+					if !at.Failed {
+						continue
+					}
+					// A failed attempt burned its full busy window on the
+					// GPU and then discarded its progress.
+					l.res.FaultRetrainFailures++
+					l.tel.RetrainFault(at.Completion, r.App, r.Node, "retrain-fail", ai)
+					l.rec.RecordBusy(at.Start, at.Completion, r.GPUFraction)
+					l.faultBusy = append(l.faultBusy, busyWindow{
+						from: at.Start, to: at.Completion, fraction: r.GPUFraction,
+					})
+				}
+				if l.aud != nil {
+					if err := l.aud.OnFaultRetrain(i, len(fate.Attempts),
+						l.flt.Config().MaxRetries, fate.Completion, windowEnd, fate.Abandoned); err != nil {
+						l.fail(err)
+						return
+					}
+				}
+				if fate.Abandoned {
+					abandoned = true
+					l.res.FaultRetrainAbandoned++
+					l.tel.RetrainAbandon(start, r.App, r.Node, len(fate.Attempts), r.Samples)
+				} else {
+					r.Completion = fate.Completion
+					r.Busy = fate.Busy
+				}
+			}
+			l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: r, abandoned: abandoned})
+			if !abandoned && r.GPUFraction > 0 && r.Busy > 0 {
 				l.rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
 			}
 		}
@@ -363,6 +456,9 @@ func (l *runLoop) periodStart(period int) {
 		l.drainAt = l.drainAt[:0]
 		for i := range l.retrains {
 			pr := &l.retrains[i]
+			if pr.abandoned {
+				continue // never completes; the stale model keeps serving
+			}
 			as := applySessionOf(pr.Completion, cfg.Clock.Session)
 			if as < first {
 				as = first
@@ -487,8 +583,17 @@ func (l *runLoop) workSession(sess int) {
 	var retrainGPUBusy float64
 	for i := range l.retrains {
 		pr := &l.retrains[i]
-		if !pr.applied && pr.GPUFraction > 0 && !start.Before(pr.Completion.Add(-pr.Busy)) {
+		if !pr.applied && !pr.abandoned && pr.GPUFraction > 0 && !start.Before(pr.Completion.Add(-pr.Busy)) {
 			retrainGPUBusy += pr.GPUFraction
+		}
+	}
+	// Failed retraining attempts occupy the GPU for their full windows
+	// too (plan order, after the pending list — a fixed summation order
+	// keeps faulted runs bit-identical across repeats).
+	for i := range l.faultBusy {
+		fb := &l.faultBusy[i]
+		if !start.Before(fb.from) && start.Before(fb.to) {
+			retrainGPUBusy += fb.fraction
 		}
 	}
 
@@ -510,10 +615,26 @@ func (l *runLoop) workSession(sess int) {
 		share = 0.02
 	}
 
+	if l.flt != nil {
+		// Per-app fault decisions for this session, computed before the
+		// fast-forward lookup so both the executed and the replayed path
+		// see (and count) the same decisions. The degraded-job counter
+		// and event key off the decision and the actual arrivals — both
+		// fast-forward key inputs — so they are identical with
+		// fast-forward on or off.
+		for i, st := range l.states {
+			l.faultWords[i] = l.flt.SessionWord(sess, st.inst.App.Name, st.nodeNames, cfg.Retraining)
+			if l.faultWords[i]&1 != 0 && l.actual[i][si] > 0 {
+				l.res.FaultDegradedJobs++
+				l.tel.Degrade(start, sess, st.inst.App.Name)
+			}
+		}
+	}
+
 	var key []byte
 	capture := false
 	if l.ff != nil {
-		key = l.ff.sessionKey(share, l.predicted, l.actual, si, l.states)
+		key = l.ff.sessionKey(share, l.predicted, l.actual, si, l.states, l.faultWords)
 		m, c := l.ff.lookup(key)
 		l.tel.FF(m != nil)
 		if m != nil {
@@ -573,6 +694,30 @@ func (l *runLoop) workSession(sess int) {
 			continue
 		}
 		jp := jobPlanFor(plan, st.inst.App.Name)
+		var degraded sched.JobPlan
+		if l.flt != nil && l.faultWords[i]&1 != 0 {
+			// Transient GPU-memory allocation failure: the planned (or
+			// fallback) structures cannot be made resident this session.
+			// Serve with the smallest profiled structure of every node
+			// and no retraining slice — the stale model at a strictly
+			// lower latency, never an SLO violation.
+			degraded = sched.JobPlan{
+				App:      st.inst.App.Name,
+				Fraction: 0.02,
+				Batch:    fallbackBatch(l.actual[i][si]),
+				Nodes:    st.degradedNodes,
+			}
+			if jp != nil && jp.Fraction > 0 && jp.Batch > 0 {
+				degraded.Fraction, degraded.Batch = jp.Fraction, jp.Batch
+			}
+			if l.aud != nil {
+				if err := l.aud.OnFaultDegrade(ctx, i, jp, &degraded); err != nil {
+					l.fail(err)
+					return
+				}
+			}
+			jp = &degraded
+		}
 		dur, mut, err := l.runJob(st, jp, plan.Overhead, start, l.actual[i][si], memo)
 		if err != nil {
 			l.fail(err)
@@ -646,4 +791,10 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant, sess int) {
 	if m.makespan > l.maxSpan {
 		l.maxSpan = m.makespan
 	}
+}
+
+// busyWindow is one failed retraining attempt's GPU occupancy.
+type busyWindow struct {
+	from, to simtime.Instant
+	fraction float64
 }

@@ -66,14 +66,20 @@ func (f *fastForward) reset() {
 }
 
 // sessionKey builds the lookup key into f.buf (reused across sessions)
-// and returns it. The caller must copy before storing.
-func (f *fastForward) sessionKey(share float64, predicted, actual [][]int, si int, states []*appState) []byte {
+// and returns it. The caller must copy before storing. faultWords is
+// empty with faults disabled (leaving the key bytes untouched) and
+// otherwise carries each app's session fault decisions, so a replay
+// can only match an execution that ran under identical injections.
+func (f *fastForward) sessionKey(share float64, predicted, actual [][]int, si int, states []*appState, faultWords []uint64) []byte {
 	b := f.buf[:0]
 	b = appendU64(b, math.Float64bits(share))
 	for i, st := range states {
 		b = appendU64(b, uint64(predicted[i][si]))
 		b = appendU64(b, uint64(actual[i][si]))
 		b = appendU64(b, st.digest())
+	}
+	for _, w := range faultWords {
+		b = appendU64(b, w)
 	}
 	f.buf = b
 	return b

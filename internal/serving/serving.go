@@ -24,6 +24,7 @@ import (
 	"adainf/internal/audit"
 	"adainf/internal/dist"
 	"adainf/internal/dnn"
+	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/metrics"
@@ -96,6 +97,14 @@ type Config struct {
 	// bit-identical metrics to an untraced one. A nil collector is the
 	// zero-cost no-op.
 	Telemetry *telemetry.Collector
+	// Faults, when non-nil with any probability set, enables the
+	// deterministic fault injector (see internal/faults): seed-derived
+	// retraining failures/slowdowns, transient GPU-memory allocation
+	// failures with graceful degradation, and workload drift-spike and
+	// arrival-burst perturbations. Unset (or all-zero), every code path
+	// and every metric is byte-identical to a build without the
+	// injector.
+	Faults *faults.Config
 	// Debug prints per-period per-node adaptation state to stdout.
 	Debug bool
 }
@@ -133,6 +142,11 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.PredictAlpha == 0 {
 		c.PredictAlpha = 0.4
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -215,6 +229,19 @@ type Result struct {
 	// PlanningTime summarizes the wall-clock planning histogram (zero
 	// unless Config.Telemetry had histograms enabled).
 	PlanningTime telemetry.Summary
+
+	// Fault* count the injections a faulted run (Config.Faults) actually
+	// fired; all zero with faults disabled. They are deterministic —
+	// pure functions of the fault seed and the workload — so repeated
+	// runs and fast-forward on/off report identical counts.
+	FaultRetrainSlowed     int // whole-pool retrains stretched by the slow factor
+	FaultRetrainFailures   int // failed whole-pool attempts (retries included)
+	FaultRetrainAbandoned  int // whole-pool retrains given up on (stale model serves)
+	FaultIncrementalFailed int // incremental slices that trained nothing
+	FaultIncrementalSlowed int // incremental slices that trained 1/factor samples
+	FaultDegradedJobs      int // jobs degraded to smallest structures by a memory fault
+	FaultBursts            int // arrival-burst windows injected
+	FaultDriftSpikes       int // period-boundary distribution shocks injected
 }
 
 // appState is the runtime bundle per application.
@@ -240,6 +267,15 @@ type appState struct {
 	// scheduler plans alias reusable arenas that a fallback job must not
 	// scribble over.
 	fallbackNodes []sched.NodePlan
+	// degradedNodes is the graceful-degradation plan a transient GPU
+	// memory fault falls back to: every node at its smallest profiled
+	// structure with no retraining slice. Strictly faster than any
+	// planned structure set, so a degraded job never violates the
+	// latency SLO its plan was built for.
+	degradedNodes []sched.NodePlan
+	// nodeNames lists the instance's nodes in order, for per-node fault
+	// decisions.
+	nodeNames []string
 	// probMemo caches each leaf's per-class correctness probabilities,
 	// keyed by everything that can change them: the period's live-dist
 	// snapshot (a fresh immutable clone each period, so pointer
@@ -273,6 +309,11 @@ type leafProbs struct {
 type pendingRetrain struct {
 	sched.PeriodRetrain
 	applied bool
+	// abandoned marks a fault-injected job that never completed (every
+	// retry failed or no retry fit the retraining window); it never
+	// applies, claims no GPU beyond its failed attempts, and the stale
+	// model keeps serving.
+	abandoned bool
 }
 
 // ProfileBuildOptions tunes BuildProfilesWith beyond the memory
@@ -481,6 +522,10 @@ func Run(cfg Config) (*Result, error) {
 			st.fallbackNodes = append(st.fallbackNodes, sched.NodePlan{
 				Node: ni.Node.Name, Structure: ni.FullStructure(),
 			})
+			st.degradedNodes = append(st.degradedNodes, sched.NodePlan{
+				Node: ni.Node.Name, Structure: ni.SmallestStructure(),
+			})
+			st.nodeNames = append(st.nodeNames, ni.Node.Name)
 		}
 		states[i] = st
 	}
@@ -582,6 +627,30 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 					// The pool cannot absorb the whole slice.
 					lat = simtime.Duration(float64(lat) * float64(remaining) / samplesF)
 					samplesF = float64(remaining)
+				}
+				if l.flt != nil && samplesF > 0 {
+					// Incremental slice faults: a failure discards the
+					// slice's samples, a slowdown trains 1/factor of them.
+					// The planned slice latency stands either way, so the
+					// session's latency SLO is untouched. Marking the
+					// session mutated keeps it out of the fast-forward
+					// memo, so faulted slices always execute (and count)
+					// identically with fast-forward on or off.
+					fail, slow := l.flt.IncrementalRetrain(l.ctx.Session, a.Name, np.Node)
+					if fail {
+						mutated = true
+						res.FaultIncrementalFailed++
+						l.tel.RetrainFault(start, a.Name, np.Node, "increm-fail", 0)
+						t = t.Add(lat)
+						retrainTotal += lat
+						rec.RecordRetrainEffort(start, lat, 0)
+						samplesF = 0
+					} else if slow {
+						mutated = true
+						res.FaultIncrementalSlowed++
+						l.tel.RetrainFault(start, a.Name, np.Node, "increm-slow", 0)
+						samplesF /= l.flt.Config().RetrainSlowFactor
+					}
 				}
 				if samplesF > 0 {
 					mutated = true

@@ -228,6 +228,51 @@ func (s *Stream) AdvancePeriod() int {
 	return s.period
 }
 
+// Shock applies an abrupt drift spike within the current period: one
+// rng-chosen class surges to a mix of intensity·one-hot + (1−intensity)·
+// current, and — as in AdvancePeriod — the surging class's feature mean
+// shifts along its novelty direction in proportion to its gain, so the
+// spike is visible to both the label-JS and cosine-divergence detectors.
+// The period index does not advance; the recorded history entry for the
+// current period is replaced so PeriodDivergence reflects the shock.
+// The caller supplies the RNG, keeping the stream's own generator (and
+// therefore every subsequent sample and drift step) untouched.
+func (s *Stream) Shock(rng *rand.Rand, intensity float64) {
+	if intensity <= 0 {
+		return
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	surge := rng.Intn(len(s.spec.Classes))
+	weights := make([]float64, len(s.spec.Classes))
+	for c := range weights {
+		weights[c] = (1 - intensity) * s.labelDist.Prob(c)
+		if c == surge {
+			weights[c] += intensity
+		}
+	}
+	prev := s.labelDist
+	ld, err := dist.NewCategorical(s.spec.Classes, weights)
+	if err != nil {
+		// Unreachable: the surge entry is ≥ intensity > 0 and no entry
+		// can be negative.
+		panic(fmt.Sprintf("synthdata: shock produced invalid mix: %v", err))
+	}
+	s.labelDist = ld
+	coupling := s.spec.FeatureCoupling
+	if coupling == 0 {
+		coupling = 50
+	}
+	if delta := s.labelDist.Prob(surge) - prev.Prob(surge); coupling > 0 && delta > 0 {
+		dir := s.noveltyDirs[surge]
+		for j := range dir {
+			s.classMeans[surge][j] += dir[j] * coupling * delta
+		}
+	}
+	s.history[len(s.history)-1] = s.labelDist.Clone()
+}
+
 // Sample draws n labelled samples from the current period's process.
 func (s *Stream) Sample(n int) []Sample {
 	out := make([]Sample, n)

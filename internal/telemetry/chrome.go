@@ -28,6 +28,11 @@ var requiredFields = map[string][]string{
 	EvProfileUnit:    {"app", "node", "unit", "wall_ms"},
 	EvPlanMemo:       {"outcome", "digest"},
 	EvCounters:       {"ff_hits", "ff_misses", "cache_hits", "cache_misses", "cache_corrupt", "plan_hits", "plan_misses", "plan_invalidated"},
+	EvRetrainFault:   {"app", "node", "kind", "attempt"},
+	EvRetrainAbandon: {"app", "node", "attempts", "samples"},
+	EvDegrade:        {"session", "app"},
+	EvBurst:          {"period", "app", "first_session", "sessions", "factor"},
+	EvDriftSpike:     {"period", "app", "intensity"},
 }
 
 // Validate reads a JSONL decision trace and checks every line against
@@ -162,6 +167,24 @@ func ExportChrome(r io.Reader, w io.Writer) error {
 				Name: fmt.Sprintf("retrain %s/%v", app, m["node"]), Phase: "i", TS: ts,
 				PID: pidControl, TID: 3, Scope: "t",
 				Args: map[string]any{"samples": m["samples"], "plan_idx": m["plan_idx"]},
+			})
+		case EvRetrainFault:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("fault %s %s/%v", m["kind"], app, m["node"]), Phase: "i", TS: ts,
+				PID: pidControl, TID: 4, Scope: "t",
+				Args: map[string]any{"attempt": m["attempt"]},
+			})
+		case EvRetrainAbandon:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("abandon %s/%v", app, m["node"]), Phase: "i", TS: ts,
+				PID: pidControl, TID: 4, Scope: "t",
+				Args: map[string]any{"attempts": m["attempts"], "samples": m["samples"]},
+			})
+		case EvDegrade:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("degrade %s", app), Phase: "i", TS: ts,
+				PID: pidControl, TID: 4, Scope: "t",
+				Args: map[string]any{"session": m["session"]},
 			})
 		case EvEvict:
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{

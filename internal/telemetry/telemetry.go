@@ -31,6 +31,11 @@ const (
 	EvProfileUnit    = "profile_unit"          // one profiling work unit: app, node, unit, wall_ms
 	EvPlanMemo       = "plan_memo"             // session-plan memo lookup: outcome, digest
 	EvCounters       = "counters"              // running counters: ff_hits, ff_misses, cache_hits, cache_misses, cache_corrupt, plan_hits, plan_misses, plan_invalidated
+	EvRetrainFault   = "retrain_fault"         // injected retraining fault: app, node, kind, attempt
+	EvRetrainAbandon = "retrain_abandon"       // retraining abandoned after retries: app, node, attempts, samples
+	EvDegrade        = "degrade"               // GPU-mem fault degraded a job: session, app
+	EvBurst          = "burst"                 // arrival burst injected: period, app, first_session, sessions, factor
+	EvDriftSpike     = "drift_spike"           // drift spike injected: period, app, intensity
 )
 
 // Options configures a Collector.
@@ -454,6 +459,77 @@ func (c *Collector) PlanMemo(ts simtime.Instant, outcome string, digest uint64) 
 	c.buf = append(c.buf, `,"digest":"`...)
 	c.buf = strconv.AppendUint(c.buf, digest, 16)
 	c.buf = append(c.buf, '"')
+	c.end()
+}
+
+// --- fault-injection events ----------------------------------------
+
+// RetrainFault emits one injected retraining fault. kind is
+// "retrain-slow", "retrain-fail" (attempt counts from 0), "increm-fail",
+// or "increm-slow".
+func (c *Collector) RetrainFault(ts simtime.Instant, app, node, kind string, attempt int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvRetrainFault)
+	c.fStr("app", app)
+	c.fStr("node", node)
+	c.fStr("kind", kind)
+	c.fInt("attempt", int64(attempt))
+	c.end()
+}
+
+// RetrainAbandon emits one whole-pool retraining given up after its
+// retry budget or retraining window ran out — the stale model keeps
+// serving (graceful degradation, not a crash).
+func (c *Collector) RetrainAbandon(ts simtime.Instant, app, node string, attempts, samples int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvRetrainAbandon)
+	c.fStr("app", app)
+	c.fStr("node", node)
+	c.fInt("attempts", int64(attempts))
+	c.fInt("samples", int64(samples))
+	c.end()
+}
+
+// Degrade emits one session in which a GPU-memory allocation fault
+// dropped an app's job to its smallest profiled structures.
+func (c *Collector) Degrade(ts simtime.Instant, session int, app string) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvDegrade)
+	c.fInt("session", int64(session))
+	c.fStr("app", app)
+	c.end()
+}
+
+// Burst emits one injected arrival burst: factor× arrivals over
+// sessions sessions starting at firstSession (period-relative).
+func (c *Collector) Burst(ts simtime.Instant, period int, app string, firstSession, sessions, factor int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvBurst)
+	c.fInt("period", int64(period))
+	c.fStr("app", app)
+	c.fInt("first_session", int64(firstSession))
+	c.fInt("sessions", int64(sessions))
+	c.fInt("factor", int64(factor))
+	c.end()
+}
+
+// DriftSpike emits one injected mid-period drift shock.
+func (c *Collector) DriftSpike(ts simtime.Instant, period int, app string, intensity float64) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvDriftSpike)
+	c.fInt("period", int64(period))
+	c.fStr("app", app)
+	c.fFloat("intensity", intensity)
 	c.end()
 }
 

@@ -140,6 +140,11 @@ func emitAll(c *Collector) {
 	c.PlanMemo(ts, "hit", 0xdeadbeef)
 	c.PlanMemo(ts, "invalidated", 0xfeedface)
 	c.PlanningObserve(120 * time.Microsecond)
+	c.RetrainFault(ts, "video-surveillance", "vehicle-type", "retrain-fail", 1)
+	c.RetrainAbandon(ts, "video-surveillance", "vehicle-type", 3, 4000)
+	c.Degrade(ts, 600, "social-media")
+	c.Burst(ts, 2, "video-surveillance", 140, 200, 3)
+	c.DriftSpike(ts, 2, "video-surveillance", 0.5)
 	c.Counters(ts)
 }
 
