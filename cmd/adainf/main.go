@@ -20,6 +20,7 @@ import (
 
 	"adainf/internal/app"
 	"adainf/internal/baselines"
+	"adainf/internal/cliflags"
 	"adainf/internal/core"
 	"adainf/internal/faults"
 	"adainf/internal/gpu"
@@ -34,6 +35,7 @@ func main() {
 	var (
 		methodName = flag.String("method", "adainf", "scheduling method (adainf, adainf/i, adainf/u, adainf/s, adainf/e, adainf/m1, adainf/m2, ekya, scrooge, scrooge*, none)")
 		gpus       = flag.Float64("gpus", 4, "edge server GPU count")
+		ngpus      = flag.Int("ngpus", 1, "GPU lanes to shard the server into (1 = unsharded; apps are placed onto lanes by working set and load)")
 		nApps      = flag.Int("apps", 8, "number of concurrent applications")
 		rate       = flag.Float64("rate", 250, "mean request rate per application (req/s)")
 		horizon    = flag.Duration("horizon", 500*time.Second, "simulated duration")
@@ -61,6 +63,14 @@ func main() {
 	flag.Parse()
 	if *chromePath != "" && *tracePath == "" {
 		fatal(fmt.Errorf("-trace-chrome requires -trace"))
+	}
+	if err := cliflags.First(
+		cliflags.GPUAmount("-gpus", *gpus),
+		cliflags.Lanes("-ngpus", *ngpus),
+		cliflags.Workers("-plan-workers", *planWorkers),
+		cliflags.Workers("-profile-workers", *profileWorkers),
+	); err != nil {
+		fatal(err)
 	}
 	pw := *planWorkers
 	if pw == 0 {
@@ -122,6 +132,7 @@ func main() {
 		Apps:               apps,
 		Method:             method,
 		GPUs:               *gpus,
+		NGPUs:              *ngpus,
 		Horizon:            *horizon,
 		Seed:               *seed,
 		RatePerApp:         *rate,
@@ -151,6 +162,9 @@ func main() {
 	fmt.Printf("  accuracy:        %.1f%%\n", res.MeanAccuracy*100)
 	fmt.Printf("  finish rate:     %.1f%%\n", res.MeanFinishRate*100)
 	fmt.Printf("  GPU utilization: %.0f%%\n", mathx.MeanOf(res.UtilizationPerSec)*100)
+	for g, u := range res.PerGPUUtilization {
+		fmt.Printf("    lane %d busy:   %.0f%%\n", g, u*100)
+	}
 	fmt.Printf("  inference/job:   %.1f ms\n", res.MeanInferLatencyMs)
 	fmt.Printf("  retraining/job:  %.1f ms\n", res.MeanRetrainLatencyMs)
 	fmt.Printf("  requests served: %d in %d jobs\n", res.Requests, res.Jobs)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"adainf/internal/app"
+	"adainf/internal/cliflags"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
 	"adainf/internal/faults"
@@ -102,9 +103,20 @@ func main() {
 				"(adds injector overhead to the measurement; empty = disabled)")
 		faultSeed = flag.Int64("fault-seed", 1,
 			"seed of the fault injector (independent of -seed)")
+		gpus = flag.Int("gpus", 1,
+			"GPU lanes to shard each simulated server into (1 = unsharded; adds lane-placement work to the measurement)")
 	)
 	flag.Parse()
 
+	if err := cliflags.First(
+		cliflags.Workers("-workers", *workers),
+		cliflags.Workers("-plan-workers", *planWorkers),
+		cliflags.Workers("-profile-workers", *profileWorkers),
+		cliflags.Lanes("-gpus", *gpus),
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
 	pw := *planWorkers
 	if pw == 0 {
 		pw = runtime.GOMAXPROCS(0)
@@ -147,6 +159,7 @@ func main() {
 	opts := experiments.Options{
 		Quick: true, Seed: *seed, Workers: *workers, ProfileCache: *profDir,
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
+		NGPUs: *gpus,
 	}
 	if *faultSpec != "" {
 		fc, err := faults.Parse(*faultSpec)

@@ -6,7 +6,8 @@
 //	repro all
 //
 // Artifacts: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2 resilience.
+// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2 resilience
+// scaling.
 //
 // Each artifact prints labelled series and tables matching the paper's
 // figure, plus notes comparing the measured shape to the published one.
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"adainf/internal/cliflags"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
 	"adainf/internal/faults"
@@ -47,6 +49,7 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 	"table1":     experiments.Table1,
 	"table2":     experiments.Table2,
 	"resilience": experiments.Resilience,
+	"scaling":    experiments.Scaling,
 }
 
 func main() {
@@ -79,9 +82,20 @@ func main() {
 				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity); empty = disabled")
 		faultSeed = flag.Int64("fault-seed", 1,
 			"seed of the fault injector (independent of -seed; identical seeds give byte-identical injections)")
+		gpus = flag.Int("gpus", 1,
+			"GPU lanes to shard each simulated server into (1 = the paper's single-server setup; apps are placed by working set and load)")
 	)
 	flag.Usage = usage
 	flag.Parse()
+	if err := cliflags.First(
+		cliflags.Workers("-parallel", *parallel),
+		cliflags.Workers("-plan-workers", *planWorkers),
+		cliflags.Workers("-profile-workers", *profileWorkers),
+		cliflags.Lanes("-gpus", *gpus),
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
+	}
 	pw := *planWorkers
 	if pw == 0 {
 		pw = runtime.GOMAXPROCS(0)
@@ -111,6 +125,7 @@ func main() {
 		Seed: *seed, Horizon: *horizon, Rate: *rate, Quick: *quick,
 		Workers: *parallel, ProfileCache: *profDir, ProfileWorkers: pfw,
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
+		NGPUs: *gpus,
 	}
 	if *faultSpec != "" {
 		fc, err := faults.Parse(*faultSpec)
@@ -159,8 +174,11 @@ func allIDs() []string {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool {
-		// figN numerically, tables last.
-		return key(ids[i]) < key(ids[j])
+		// figN numerically, tables after, extras alphabetically last.
+		if ki, kj := key(ids[i]), key(ids[j]); ki != kj {
+			return ki < kj
+		}
+		return ids[i] < ids[j]
 	})
 	return ids
 }

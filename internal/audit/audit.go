@@ -37,6 +37,7 @@ package audit
 import (
 	"fmt"
 
+	"adainf/internal/cluster"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
 )
@@ -98,6 +99,12 @@ const (
 	// structure's at the same batch and fraction, so degradation can
 	// never introduce an SLO violation the original plan lacked.
 	RuleFaultDegrade = "fault-degrade"
+	// RulePlacement: a multi-GPU placement must put every application
+	// on exactly one in-range GPU and keep every GPU's placed
+	// working-set bytes within its memory capacity; per-GPU fraction
+	// sums are bounded by the lane's share of the GPU amount (checked
+	// per session by RuleShareSum against the lane-divided bound).
+	RulePlacement = "cluster-placement"
 )
 
 // Violation is one broken invariant with its structured context.
@@ -183,6 +190,15 @@ type Params struct {
 	// overlapping session) and the EWMA concurrency estimate's lag.
 	// Zero defaults to 0.25.
 	UtilSlack float64
+	// NGPUs is the number of discrete GPU lanes (0 or 1 = the
+	// single-GPU server). With NGPUs > 1 each session plan covers one
+	// lane, so the non-strict share-sum bound tightens to the lane's
+	// share of the GPU amount (GPUs / NGPUs) and OnPlacement validates
+	// the app→GPU assignment.
+	NGPUs int
+	// PerGPUBytes is each GPU's memory capacity for OnPlacement's
+	// residency bound (0 takes the placement's own topology).
+	PerGPUBytes int64
 }
 
 // eps absorbs floating-point rounding in fraction comparisons.
@@ -510,9 +526,15 @@ func (a *Auditor) OnSessionPlan(ctx *sched.SessionContext, plan *sched.SessionPl
 	// min-fraction floor may push each active job up to the floor, so
 	// the bound tolerates floor·nActive of oversubscription; methods
 	// that cache plans across sessions are bounded by the physical
-	// capacity instead of the (possibly smaller) current share.
+	// capacity instead of the (possibly smaller) current share. On a
+	// multi-GPU server each plan covers one lane, whose capacity is
+	// the lane's division of the GPU amount.
+	capacity := a.p.GPUs
+	if a.p.NGPUs > 1 {
+		capacity = a.p.GPUs / float64(a.p.NGPUs)
+	}
 	slack := a.p.MinFraction * float64(nActive)
-	bound := a.p.GPUs + slack
+	bound := capacity + slack
 	if a.p.StrictShare {
 		bound = ctx.GPUShare
 		if slack > ctx.GPUShare {
@@ -527,6 +549,60 @@ func (a *Auditor) OnSessionPlan(ctx *sched.SessionContext, plan *sched.SessionPl
 			Plan: snapshotPlan(plan),
 		}
 	})
+}
+
+// OnPlacement validates a multi-GPU placement: every expected
+// application on exactly one in-range GPU, and every GPU's placed
+// working-set bytes within its memory capacity.
+func (a *Auditor) OnPlacement(period int, pl *cluster.Placement, apps []string) error {
+	v := func(app, detail string) func() Violation {
+		return func() Violation {
+			return Violation{Rule: RulePlacement, Period: period, App: app, Detail: detail}
+		}
+	}
+	ngpus := pl.NGPUs()
+	if a.p.NGPUs > 1 {
+		if err := a.check(ngpus == a.p.NGPUs,
+			v("", fmt.Sprintf("placement spans %d GPUs, server has %d", ngpus, a.p.NGPUs))); err != nil {
+			return err
+		}
+	}
+	if err := a.check(pl.Len() == len(apps),
+		v("", fmt.Sprintf("%d apps placed, %d expected", pl.Len(), len(apps)))); err != nil {
+		return err
+	}
+	for _, name := range apps {
+		g, ok := pl.GPU(name)
+		if err := a.check(ok, v(name, "app not placed")); err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := a.check(g >= 0 && g < ngpus,
+			v(name, fmt.Sprintf("placed on GPU %d of %d", g, ngpus))); err != nil {
+			return err
+		}
+	}
+	capacity := pl.Topology().PerGPUBytes
+	if a.p.PerGPUBytes > 0 {
+		capacity = a.p.PerGPUBytes
+	}
+	for g := 0; g < ngpus; g++ {
+		var sum int64
+		for _, al := range pl.AppsOn(g) {
+			sum += al.WorkingSetBytes
+		}
+		if err := a.check(sum == pl.BytesOn(g),
+			v("", fmt.Sprintf("GPU %d books %d bytes, members sum to %d", g, pl.BytesOn(g), sum))); err != nil {
+			return err
+		}
+		if err := a.check(sum <= capacity,
+			v("", fmt.Sprintf("GPU %d holds %d bytes, capacity %d", g, sum, capacity))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // auditJob validates one active job plan: profiled batches, inference

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"adainf/internal/app"
+	"adainf/internal/cluster"
 	"adainf/internal/profile"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
@@ -404,5 +405,74 @@ func TestUtilizationOvershoot(t *testing.T) {
 	tight := New(nil, Params{GPUs: 4, UtilSlack: 0.01})
 	if got := ruleOf(t, tight.OnUtilization(1.2, 3, 1)); got != RuleUtilization {
 		t.Fatalf("rule = %q, want %q", got, RuleUtilization)
+	}
+}
+
+// A server split into NGPUs lanes bounds each session plan by the lane
+// capacity GPUs/NGPUs, not the whole server.
+func TestLaneShareBound(t *testing.T) {
+	f := newPlanFixture(t)
+	twoJobs := func() (*sched.SessionContext, *sched.SessionPlan) {
+		ctx := f.context(t, 2)
+		ctx.Jobs = append(ctx.Jobs, ctx.Jobs[0])
+		plan := f.plan(t)
+		plan.Jobs = append(plan.Jobs, plan.Jobs[0])
+		plan.Jobs[0].Fraction = 0.6
+		plan.Jobs[1].Fraction = 0.6
+		return ctx, plan
+	}
+
+	// Whole server: 1.2 of 4 GPUs is fine.
+	ctx, plan := twoJobs()
+	a := New(nil, Params{GPUs: 4})
+	if err := a.OnSessionPlan(ctx, plan); err != nil {
+		t.Fatalf("whole-server plan rejected: %v", err)
+	}
+	// Four lanes: capacity 1.0 + 2×0.02 floor slack < 1.2.
+	ctx, plan = twoJobs()
+	a = New(nil, Params{GPUs: 4, NGPUs: 4})
+	if got := ruleOf(t, a.OnSessionPlan(ctx, plan)); got != RuleShareSum {
+		t.Fatalf("rule = %q, want %q", got, RuleShareSum)
+	}
+}
+
+func TestPlacementRule(t *testing.T) {
+	topo := cluster.Topology{NGPUs: 2, PerGPUBytes: 100}
+	pl, err := cluster.Place(topo, []cluster.AppLoad{
+		{Name: "a", WorkingSetBytes: 60, LoadRank: 0},
+		{Name: "b", WorkingSetBytes: 50, LoadRank: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := New(nil, Params{GPUs: 2, NGPUs: 2})
+	if err := a.OnPlacement(0, pl, []string{"a", "b"}); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	if a.Checks() == 0 {
+		t.Fatal("no checks counted")
+	}
+
+	// Expected-app set disagrees with the placement.
+	a = New(nil, Params{GPUs: 2, NGPUs: 2})
+	if got := ruleOf(t, a.OnPlacement(0, pl, []string{"a"})); got != RulePlacement {
+		t.Fatalf("rule = %q, want %q", got, RulePlacement)
+	}
+	a = New(nil, Params{GPUs: 2, NGPUs: 2})
+	if got := ruleOf(t, a.OnPlacement(0, pl, []string{"a", "x"})); got != RulePlacement {
+		t.Fatalf("rule = %q, want %q", got, RulePlacement)
+	}
+
+	// Lane count mismatch against the server's topology.
+	a = New(nil, Params{GPUs: 3, NGPUs: 3})
+	if got := ruleOf(t, a.OnPlacement(0, pl, []string{"a", "b"})); got != RulePlacement {
+		t.Fatalf("rule = %q, want %q", got, RulePlacement)
+	}
+
+	// Tighter audited capacity than the placement topology's.
+	a = New(nil, Params{GPUs: 2, NGPUs: 2, PerGPUBytes: 55})
+	if got := ruleOf(t, a.OnPlacement(0, pl, []string{"a", "b"})); got != RulePlacement {
+		t.Fatalf("rule = %q, want %q", got, RulePlacement)
 	}
 }

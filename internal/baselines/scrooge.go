@@ -28,7 +28,11 @@ type Scrooge struct {
 	minFraction float64
 
 	// cached plan, reused for the sessions inside one solve window.
+	// cachedGPU pins the cache to the GPU lane it solved for: on a
+	// sharded server the same Scrooge instance plans every lane in turn,
+	// and two lanes with equal job counts must not trade plans.
 	cachedWindow int
+	cachedGPU    int
 	cached       *sched.SessionPlan
 	transferTime simtime.Duration
 	transferred  int64
@@ -98,7 +102,7 @@ func (s *Scrooge) OnPeriodStart(ctx *sched.PeriodContext) (*sched.PeriodPlan, er
 // every session in the window, since the solve itself takes ~100 ms.
 func (s *Scrooge) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, error) {
 	window := int(ctx.Start.Duration() / ScroogeOverhead)
-	if s.cached != nil && window == s.cachedWindow && len(s.cached.Jobs) == len(ctx.Jobs) {
+	if s.cached != nil && window == s.cachedWindow && s.cachedGPU == ctx.GPU && len(s.cached.Jobs) == len(ctx.Jobs) {
 		plan := *s.cached
 		plan.Session = ctx.Session
 		plan.Overhead = 0 // already paid at the window's first session
@@ -110,6 +114,7 @@ func (s *Scrooge) PlanSession(ctx *sched.SessionContext) (*sched.SessionPlan, er
 	}
 	s.cached = plan
 	s.cachedWindow = window
+	s.cachedGPU = ctx.GPU
 	return plan, nil
 }
 

@@ -1,0 +1,47 @@
+// Package cliflags validates the numeric flags shared by the adainf,
+// repro, and bench commands, so every binary rejects nonsensical
+// worker and GPU counts with the same message instead of silently
+// clamping them (or worse, passing them through to the engine).
+package cliflags
+
+import "fmt"
+
+// Workers validates a worker-count flag whose zero value means "one
+// per CPU" (-plan-workers, -profile-workers, -parallel, -workers).
+// Only negative values are invalid.
+func Workers(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (0 = one per CPU), got %d", name, v)
+	}
+	return nil
+}
+
+// Lanes validates a GPU lane-count flag (-gpus on repro and bench,
+// -ngpus on adainf): a server shards into at least one lane.
+func Lanes(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1, got %d", name, v)
+	}
+	return nil
+}
+
+// GPUAmount validates a fractional GPU-capacity flag (adainf's -gpus):
+// the simulated server needs strictly positive capacity. NaN is
+// rejected along with zero and negatives.
+func GPUAmount(name string, v float64) error {
+	if !(v > 0) {
+		return fmt.Errorf("%s must be > 0, got %g", name, v)
+	}
+	return nil
+}
+
+// First returns the first non-nil error, letting a command validate
+// all its flags in one expression and report the leftmost failure.
+func First(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

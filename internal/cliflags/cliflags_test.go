@@ -1,0 +1,77 @@
+package cliflags
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidators is the table-driven flag-validation suite the CLIs
+// rely on: worker flags accept zero (auto) and reject negatives, lane
+// counts must be at least one, and fractional GPU amounts must be
+// strictly positive (NaN included in the rejections).
+func TestValidators(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		ok   bool
+	}{
+		{"workers auto", Workers("-plan-workers", 0), true},
+		{"workers serial", Workers("-plan-workers", 1), true},
+		{"workers many", Workers("-profile-workers", 64), true},
+		{"workers negative", Workers("-plan-workers", -1), false},
+		{"workers very negative", Workers("-profile-workers", -100), false},
+
+		{"lanes one", Lanes("-gpus", 1), true},
+		{"lanes many", Lanes("-gpus", 8), true},
+		{"lanes zero", Lanes("-gpus", 0), false},
+		{"lanes negative", Lanes("-ngpus", -2), false},
+
+		{"amount fractional", GPUAmount("-gpus", 0.5), true},
+		{"amount whole", GPUAmount("-gpus", 4), true},
+		{"amount zero", GPUAmount("-gpus", 0), false},
+		{"amount negative", GPUAmount("-gpus", -1), false},
+		{"amount nan", GPUAmount("-gpus", math.NaN()), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.ok && tc.err != nil {
+				t.Fatalf("unexpected error: %v", tc.err)
+			}
+			if !tc.ok {
+				if tc.err == nil {
+					t.Fatal("invalid value accepted")
+				}
+				if !strings.Contains(tc.err.Error(), "-") {
+					t.Errorf("error %q does not name the flag", tc.err)
+				}
+			}
+		})
+	}
+}
+
+// TestErrorNamesFlag pins the message contract: the user sees which
+// flag failed and the value they passed.
+func TestErrorNamesFlag(t *testing.T) {
+	err := Workers("-plan-workers", -3)
+	if err == nil || !strings.Contains(err.Error(), "-plan-workers") ||
+		!strings.Contains(err.Error(), "-3") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestFirst returns the leftmost failure and nil when all pass.
+func TestFirst(t *testing.T) {
+	if err := First(nil, nil, nil); err != nil {
+		t.Fatalf("all-nil: %v", err)
+	}
+	a := errors.New("a")
+	b := errors.New("b")
+	if err := First(nil, a, b); err != a {
+		t.Errorf("got %v, want first error", err)
+	}
+	if err := First(); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+}

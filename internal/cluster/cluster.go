@@ -1,0 +1,244 @@
+// Package cluster models the edge server as a set of discrete GPUs
+// and deterministically places applications onto them. The serving
+// runtime is single-GPU-amount at heart (§3.3.1 divides "the GPU
+// amount" across concurrent sessions); this package adds the missing
+// scaling axis: with NGPUs > 1 every application is pinned to exactly
+// one GPU lane, share division happens per lane over the applications
+// placed there, and retraining busy-time charges the owning lane.
+//
+// Placement is a pure function of its inputs — the topology, each
+// application's profiled working-set bytes, and its predicted-load
+// *rank* (not the raw load, so ordinary request fluctuations cannot
+// reshuffle applications between GPUs mid-run). That keeps period
+// plans memoizable: the serving fast-forward memo extends its key with
+// Placement.Digest, and two sessions with equal keys are guaranteed to
+// have run under the identical placement.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology describes the edge server's accelerator layout: how many
+// discrete GPUs it has and how much memory each one offers for model
+// residency.
+type Topology struct {
+	// NGPUs is the number of discrete GPU lanes (≥ 1).
+	NGPUs int
+	// PerGPUBytes is each GPU's memory capacity in bytes (> 0).
+	PerGPUBytes int64
+}
+
+// Validate checks the topology's well-formedness.
+func (t Topology) Validate() error {
+	if t.NGPUs < 1 {
+		return fmt.Errorf("cluster: %d GPUs", t.NGPUs)
+	}
+	if t.PerGPUBytes <= 0 {
+		return fmt.Errorf("cluster: %d bytes per GPU", t.PerGPUBytes)
+	}
+	return nil
+}
+
+// AppLoad is one application's placement inputs.
+type AppLoad struct {
+	// Name identifies the application (unique within one placement).
+	Name string
+	// WorkingSetBytes is the application's profiled GPU working set:
+	// the residency it needs on whichever GPU serves it.
+	WorkingSetBytes int64
+	// LoadRank is the application's position in the predicted-load
+	// ordering (0 = most loaded). Ranks, not raw loads, drive
+	// placement, so the assignment only changes when applications
+	// actually swap order.
+	LoadRank int
+}
+
+// Placement is an immutable assignment of every application to exactly
+// one GPU lane.
+type Placement struct {
+	topo   Topology
+	apps   []AppLoad // assignment order (heaviest load first)
+	gpu    []int     // apps[i] runs on GPU gpu[i]
+	index  map[string]int
+	bytes  []int64 // residency per GPU
+	load   []float64
+	digest uint64
+}
+
+// Place bin-packs the applications onto the topology's GPUs:
+// first-fit-decreasing over predicted load (working-set bytes, then
+// name, break ties), assigning each application to the least-loaded
+// GPU that still has the memory to hold its working set (ties to the
+// lowest GPU index). The result is deterministic — independent of the
+// input order — and errors if any application fits on no GPU.
+func Place(topo Topology, apps []AppLoad) (*Placement, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]AppLoad, len(apps))
+	copy(order, apps)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &order[i], &order[j]
+		if a.LoadRank != b.LoadRank {
+			return a.LoadRank < b.LoadRank
+		}
+		if a.WorkingSetBytes != b.WorkingSetBytes {
+			return a.WorkingSetBytes > b.WorkingSetBytes
+		}
+		return a.Name < b.Name
+	})
+	p := &Placement{
+		topo:  topo,
+		apps:  order,
+		gpu:   make([]int, len(order)),
+		index: make(map[string]int, len(order)),
+		bytes: make([]int64, topo.NGPUs),
+		load:  make([]float64, topo.NGPUs),
+	}
+	n := len(order)
+	for i := range order {
+		a := &order[i]
+		if _, dup := p.index[a.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate app %q", a.Name)
+		}
+		if a.WorkingSetBytes < 0 {
+			return nil, fmt.Errorf("cluster: app %q working set %d bytes", a.Name, a.WorkingSetBytes)
+		}
+		best := -1
+		for g := 0; g < topo.NGPUs; g++ {
+			if p.bytes[g]+a.WorkingSetBytes > topo.PerGPUBytes {
+				continue
+			}
+			if best < 0 || p.load[g] < p.load[best] {
+				best = g
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("cluster: app %q (%d bytes) fits on no GPU (%d × %d bytes)",
+				a.Name, a.WorkingSetBytes, topo.NGPUs, topo.PerGPUBytes)
+		}
+		p.gpu[i] = best
+		p.index[a.Name] = i
+		p.bytes[best] += a.WorkingSetBytes
+		// Heavier load rank → heavier weight; the exact scale is
+		// irrelevant, only the deterministic balancing it induces.
+		p.load[best] += float64(n - a.LoadRank)
+	}
+	p.digest = p.computeDigest()
+	return p, nil
+}
+
+// Topology returns the placement's topology.
+func (p *Placement) Topology() Topology { return p.topo }
+
+// NGPUs returns the topology's GPU count.
+func (p *Placement) NGPUs() int { return p.topo.NGPUs }
+
+// Len returns the number of placed applications.
+func (p *Placement) Len() int { return len(p.apps) }
+
+// GPU returns the lane serving the named application.
+func (p *Placement) GPU(name string) (int, bool) {
+	i, ok := p.index[name]
+	if !ok {
+		return 0, false
+	}
+	return p.gpu[i], true
+}
+
+// BytesOn returns GPU g's total placed working-set bytes.
+func (p *Placement) BytesOn(g int) int64 {
+	if g < 0 || g >= len(p.bytes) {
+		return 0
+	}
+	return p.bytes[g]
+}
+
+// AppsOn returns the applications placed on GPU g, in assignment
+// (heaviest-load-first) order. The slice is freshly allocated.
+func (p *Placement) AppsOn(g int) []AppLoad {
+	var out []AppLoad
+	for i := range p.apps {
+		if p.gpu[i] == g {
+			out = append(out, p.apps[i])
+		}
+	}
+	return out
+}
+
+// Apps returns every placed application in assignment order. The
+// returned slice is the placement's own storage; do not mutate it.
+func (p *Placement) Apps() []AppLoad { return p.apps }
+
+// GPUAt returns the lane of the i-th application in assignment order.
+func (p *Placement) GPUAt(i int) int { return p.gpu[i] }
+
+// Digest fingerprints the placement: the topology, every application's
+// placement inputs, and its assigned GPU. Equal digests mean (modulo
+// hashing) equal placements, which is what the serving fast-forward
+// memo keys on.
+func (p *Placement) Digest() uint64 { return p.digest }
+
+func (p *Placement) computeDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) { h = (h ^ v) * prime64 }
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		mix(uint64(len(s)))
+	}
+	mix(uint64(p.topo.NGPUs))
+	mix(uint64(p.topo.PerGPUBytes))
+	for i := range p.apps {
+		a := &p.apps[i]
+		mixStr(a.Name)
+		mix(uint64(a.WorkingSetBytes))
+		mix(uint64(a.LoadRank))
+		mix(uint64(p.gpu[i]))
+	}
+	return h
+}
+
+// RankLoads converts raw predicted loads into the LoadRank inputs of
+// Place: rank 0 is the heaviest load, ties broken by name ascending.
+// The returned slice is parallel to the inputs.
+func RankLoads(names []string, loads []float64) []int {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if loads[i] != loads[j] {
+			return loads[i] > loads[j]
+		}
+		return names[i] < names[j]
+	})
+	ranks := make([]int, len(names))
+	for r, i := range idx {
+		ranks[i] = r
+	}
+	return ranks
+}
+
+// RanksEqual reports whether two rank slices are identical — the
+// serving loop's "has the load ordering changed" test that gates
+// placement recomputation at period boundaries.
+func RanksEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

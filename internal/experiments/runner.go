@@ -42,6 +42,9 @@ type arm struct {
 	m    method
 	apps []*app.App
 	gpus float64
+	// ngpus > 0 shards the arm's server into GPU lanes
+	// (Options.NGPUs); 0 inherits the artifact options.
+	ngpus int
 }
 
 // configKey identifies the arm's simulation configuration. Arms with
@@ -60,6 +63,12 @@ func (a *arm) configKey() string {
 	}
 	sb.WriteString("|gpus=")
 	sb.WriteString(strconv.FormatFloat(a.gpus, 'g', -1, 64))
+	if a.ngpus > 1 {
+		// Only sharded arms extend the key: every pre-existing
+		// configuration keeps its exact key (and trace filename).
+		sb.WriteString("|ngpus=")
+		sb.WriteString(strconv.Itoa(a.ngpus))
+	}
 	sb.WriteByte('|')
 	a.writeWorkload(&sb)
 	return sb.String()
@@ -215,6 +224,9 @@ func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) 
 		a := &arms[ai]
 		ao := o
 		ao.Seed = armSeed(o.Seed, a.workloadKey())
+		if a.ngpus > 0 {
+			ao.NGPUs = a.ngpus
+		}
 		label := armLabel(a)
 		if o.TraceDir != "" {
 			ao.tracePath = filepath.Join(o.TraceDir, traceFileName(artifact, label, keys[ai]))
@@ -245,8 +257,12 @@ func runArms(o Options, artifact string, arms []arm) ([]*serving.Result, error) 
 
 // armLabel is the human-readable arm name used in progress reports.
 func armLabel(a *arm) string {
-	return a.m.label + " apps=" + strconv.Itoa(len(a.apps)) +
+	l := a.m.label + " apps=" + strconv.Itoa(len(a.apps)) +
 		" gpus=" + strconv.FormatFloat(a.gpus, 'g', -1, 64)
+	if a.ngpus > 1 {
+		l += " ngpus=" + strconv.Itoa(a.ngpus)
+	}
+	return l
 }
 
 // traceFileName names one arm's JSONL decision trace. The arm label is

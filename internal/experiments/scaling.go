@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adainf/internal/app"
+	"adainf/internal/serving"
+)
+
+// Scaling is a reproduction-specific artifact with no paper analogue:
+// it measures how serving quality scales when the edge server's GPUs
+// are sharded into independent lanes (serving.Config.NGPUs) with apps
+// bin-packed onto them by working set and predicted load
+// (internal/cluster). The same workload seed runs the full catalog on
+// 1, 2, and 4 GPU lanes across AdaInf, Ekya, and Scrooge; because the
+// seed is lane-independent, the goodput column is a paired comparison
+// — every ratio against the 1-GPU row is caused by the added GPUs
+// alone. Goodput is the rate of requests served within their SLO
+// (finish rate × request count; requests are identical across rows).
+func Scaling(o Options) (*Result, error) {
+	apps := app.Catalog()
+	methods := []method{adaInf(), ekya(), scrooge(false)}
+	lanes := []int{1, 2, 4}
+
+	var arms []arm
+	for _, m := range methods {
+		for _, n := range lanes {
+			arms = append(arms, arm{m: m, apps: apps, gpus: float64(n), ngpus: n})
+		}
+	}
+	rs, err := runArms(o, "scaling", arms)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "scaling",
+		Title: "Goodput scaling across sharded GPU lanes",
+	}
+	tb := Table{
+		Title: "per-method serving quality by GPU count (1 GPU per lane)",
+		Header: []string{"method", "gpus", "accuracy", "finish rate",
+			"goodput x", "min/max lane util"},
+	}
+	xs := make([]float64, len(lanes))
+	for i, n := range lanes {
+		xs[i] = float64(n)
+	}
+	for mi, m := range methods {
+		var base float64
+		ys := make([]float64, len(lanes))
+		for li, n := range lanes {
+			r := rs[mi*len(lanes)+li]
+			goodput := r.MeanFinishRate * float64(r.Requests)
+			if li == 0 {
+				base = goodput
+			}
+			ratio := 0.0
+			if base > 0 {
+				ratio = goodput / base
+			}
+			ys[li] = ratio
+			tb.Rows = append(tb.Rows, []string{
+				m.label, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.3f", r.MeanAccuracy),
+				fmt.Sprintf("%.3f", r.MeanFinishRate),
+				fmt.Sprintf("%.2f", ratio),
+				laneUtil(r),
+			})
+		}
+		res.Series = append(res.Series, Series{
+			Label: m.label + " goodput vs 1 GPU", X: xs, Y: ys,
+		})
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes,
+		"goodput x is the SLO-met request rate relative to the method's own 1-GPU row (paired seeds)",
+		"apps are placed onto lanes by working-set bytes and predicted load rank (internal/cluster)")
+	return res, nil
+}
+
+// laneUtil renders the spread of Result.PerGPUUtilization ("-" for
+// unsharded runs).
+func laneUtil(r *serving.Result) string {
+	if len(r.PerGPUUtilization) == 0 {
+		return "-"
+	}
+	min, max := r.PerGPUUtilization[0], r.PerGPUUtilization[0]
+	for _, u := range r.PerGPUUtilization[1:] {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return fmt.Sprintf("%.2f/%.2f", min, max)
+}

@@ -433,6 +433,19 @@ func (in *Injector) MemFail(si int, app string) bool {
 	return in.cfg.MemFail > 0 && in.hash("mem-fail").str(app).i64(int64(si)).u01() < in.cfg.MemFail
 }
 
+// MemFailGPU is MemFail on a multi-GPU server: the failure is a
+// property of the GPU lane actually serving the app, so the roll mixes
+// the lane in. Lane 0 is hash-identical to MemFail — a single-GPU run
+// through the lane-aware path injects exactly the faults the
+// single-lane path would.
+func (in *Injector) MemFailGPU(si int, app string, gpu int) bool {
+	if gpu == 0 {
+		return in.MemFail(si, app)
+	}
+	return in.cfg.MemFail > 0 &&
+		in.hash("mem-fail").str(app).i64(int64(si)).i64(int64(gpu)).u01() < in.cfg.MemFail
+}
+
 // Burst describes one arrival burst: sessions [Start, End) of the
 // period see their arrivals multiplied by Factor.
 type Burst struct {
@@ -478,8 +491,16 @@ func (in *Injector) DriftSpike(period int, app string) (seed int64, intensity fl
 // words behave identically under faults, which keeps the fast-forward
 // memo sound (the word is appended to the session key).
 func (in *Injector) SessionWord(si int, app string, nodes []string, retraining bool) uint64 {
+	return in.SessionWordGPU(si, app, nodes, retraining, 0)
+}
+
+// SessionWordGPU is SessionWord with the app's GPU lane: the memory
+// fault rolls per lane (MemFailGPU) while the incremental retraining
+// decisions stay lane-independent (they are properties of the model,
+// not the device). Lane 0 reproduces SessionWord bit for bit.
+func (in *Injector) SessionWordGPU(si int, app string, nodes []string, retraining bool, gpu int) uint64 {
 	var w uint64
-	if in.MemFail(si, app) {
+	if in.MemFailGPU(si, app, gpu) {
 		w |= 1
 	}
 	if retraining {

@@ -182,6 +182,42 @@ func TestSessionWord(t *testing.T) {
 	}
 }
 
+// TestSessionWordGPU: lane 0 must reproduce the single-GPU word bit
+// for bit (the NGPUs=1 byte-identity invariant), other lanes must roll
+// the memory fault per lane while keeping the retraining bits
+// lane-independent.
+func TestSessionWordGPU(t *testing.T) {
+	cfg := Default()
+	cfg.Seed = 3
+	in := New(&cfg)
+	nodes := []string{"det", "cls"}
+	diff := 0
+	for si := 0; si < 500; si++ {
+		base := in.SessionWord(si, "app", nodes, true)
+		if w0 := in.SessionWordGPU(si, "app", nodes, true, 0); w0 != base {
+			t.Fatalf("session %d: lane-0 word %b != SessionWord %b", si, w0, base)
+		}
+		if m0 := in.MemFailGPU(si, "app", 0); m0 != in.MemFail(si, "app") {
+			t.Fatalf("session %d: lane-0 MemFailGPU %v != MemFail", si, m0)
+		}
+		for g := 1; g < 4; g++ {
+			w := in.SessionWordGPU(si, "app", nodes, true, g)
+			if w>>1 != base>>1 {
+				t.Fatalf("session %d lane %d: retraining bits changed: %b vs %b", si, g, w, base)
+			}
+			if w != in.SessionWordGPU(si, "app", nodes, true, g) {
+				t.Fatalf("session %d lane %d: word not deterministic", si, g)
+			}
+			if w&1 != base&1 {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("500 sessions × 3 lanes never disagreed with lane 0 on the memory fault")
+	}
+}
+
 // TestBurstFor asserts burst windows stay inside the period and rolls
 // are deterministic; a long enough sweep must see both outcomes.
 func TestBurstFor(t *testing.T) {

@@ -232,6 +232,47 @@ func TestCleanCacheEvictionOrder(t *testing.T) {
 	}
 }
 
+// TestCleanCacheEqualMtimeTiebreak pins the deterministic survivor set
+// when entries share a modification time (common on coarse-mtime
+// filesystems and parallel builds): ties evict in filename order, so
+// every machine that runs the same eviction keeps the same entries.
+func TestCleanCacheEqualMtimeTiebreak(t *testing.T) {
+	dir := t.TempDir()
+	mtime := time.Now().Add(-time.Hour)
+	names := []string{
+		"profile-000000000000000c.gob",
+		"profile-000000000000000a.gob",
+		"profile-000000000000000b.gob",
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 300 bytes of same-mtime entries, budget 150: the two lowest
+	// filenames must go, whatever order the directory listed them in.
+	removed, err := CleanCache(dir, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d entries, want 2", removed)
+	}
+	for _, name := range []string{"profile-000000000000000a.gob", "profile-000000000000000b.gob"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("%s survived; ties must evict in filename order", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "profile-000000000000000c.gob")); err != nil {
+		t.Errorf("highest-named tie was evicted: %v", err)
+	}
+}
+
 // TestCorruptCacheRecovery pins the lifecycle of an undecodable cache
 // entry: the load deletes the file on the spot, the event is counted,
 // and the next cached build rebuilds and restores a valid entry.

@@ -5,6 +5,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"adainf/internal/app"
 	"adainf/internal/dnn"
@@ -120,6 +121,11 @@ type SessionContext struct {
 	// GPUs (total GPUs divided by the number of concurrently running
 	// sessions, §3.3.1).
 	GPUShare float64
+	// GPU identifies the GPU lane the session's jobs run on (always 0
+	// on a single-GPU server). With multi-GPU sharding
+	// (internal/cluster) the runtime plans one session context per
+	// lane, each carrying only the applications placed there.
+	GPU int
 	// Jobs are the applications with predicted requests this session.
 	Jobs []JobRequest
 }
@@ -196,9 +202,12 @@ func (p *SessionPlan) Validate(ctx *SessionContext) error {
 		total += jp.Fraction
 	}
 	// Jobs run on single-GPU MPS partitions (Fraction ≤ 1 each); their
-	// sum must not exceed the session's GPU amount. Allow a little
-	// slack for rounding.
-	if ctx.GPUShare > 0 && total > ctx.GPUShare+1e-9 {
+	// sum must not exceed the session's GPU amount. The rounding slack
+	// is relative to the share: summing many fractions against a
+	// multi-GPU share accumulates error proportional to the share's
+	// magnitude, which a fixed absolute slack would misreject.
+	slack := 1e-9 * math.Max(1, ctx.GPUShare)
+	if ctx.GPUShare > 0 && total > ctx.GPUShare+slack {
 		return fmt.Errorf("sched: plan allocates %g GPUs across jobs, session share is %g", total, ctx.GPUShare)
 	}
 	return nil

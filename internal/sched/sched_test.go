@@ -238,6 +238,47 @@ func TestSessionPlanValidate(t *testing.T) {
 	}
 }
 
+// TestSessionPlanValidateLargeShareSlack is the regression test for
+// the share-sum slack: at multi-GPU shares the rounding error of
+// summing many per-job fractions scales with the share, so the slack
+// must be relative (1e-9·max(1, share)), not the absolute 1e-9 that
+// rejected valid plans.
+func TestSessionPlanValidateLargeShareSlack(t *testing.T) {
+	const share = 100.0
+	// 100 whole-GPU jobs plus a 3e-8 crumb: the crumb stands in for
+	// the rounding error a 100-GPU fraction sum legitimately
+	// accumulates — above the old absolute 1e-9 slack, well inside the
+	// relative one (1e-7 at share 100).
+	jobs := make([]JobPlan, 101)
+	reqs := make([]JobRequest, 101)
+	for i := 0; i < 100; i++ {
+		jobs[i] = JobPlan{App: "a", Fraction: 1.0, Batch: 1}
+	}
+	jobs[100] = JobPlan{App: "crumb", Fraction: 3e-8, Batch: 1}
+	ctx := &SessionContext{GPUShare: share, Jobs: reqs}
+	plan := &SessionPlan{Jobs: jobs}
+	if err := plan.Validate(ctx); err != nil {
+		t.Fatalf("rounding-level overshoot at share %g rejected: %v", share, err)
+	}
+
+	// A genuine overshoot (beyond the relative slack) still rejects.
+	jobs[100].Fraction = 1e-5
+	if err := plan.Validate(ctx); err == nil {
+		t.Fatal("genuine overshoot at large share accepted")
+	}
+
+	// Shares ≤ 1 keep the old absolute bound: the same 3e-8 crumb over
+	// a 0.5 share is a real violation, not rounding.
+	small := &SessionContext{GPUShare: 0.5, Jobs: reqs[:2]}
+	over := &SessionPlan{Jobs: []JobPlan{
+		{App: "a", Fraction: 0.5, Batch: 1},
+		{App: "b", Fraction: 3e-8, Batch: 1},
+	}}
+	if err := over.Validate(small); err == nil {
+		t.Fatal("overshoot at sub-GPU share accepted")
+	}
+}
+
 func TestJobPlanTotalTime(t *testing.T) {
 	p := JobPlan{InferTime: 100 * time.Millisecond, RetrainTime: 50 * time.Millisecond}
 	if p.TotalTime() != 150*time.Millisecond {

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"adainf/internal/audit"
+	"adainf/internal/cluster"
 	"adainf/internal/eventsim"
 	"adainf/internal/faults"
+	"adainf/internal/gpu"
 	"adainf/internal/metrics"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
@@ -54,6 +56,26 @@ type runLoop struct {
 
 	ewmaTa time.Duration
 	ctx    *sched.SessionContext
+
+	// Multi-GPU lane state (NGPUs > 1 only; all nil/zero on the
+	// single-partition path, which stays byte-identical to a build
+	// without lanes).
+	topo      cluster.Topology
+	place     *cluster.Placement
+	appNames  []string
+	appIdx    map[string]int
+	wsBytes   []int64   // per-app profiled working set, fixed for the run
+	loadBuf   []float64 // scratch: per-app predicted load this period
+	lastRanks []int     // previous period's load ranking
+	laneOf    []int     // per-app lane under the current placement
+	laneApps  [][]int   // per-lane app indexes, states order
+	laneBusy  []float64 // scratch: per-lane retrain busy this session
+	laneShare []float64 // scratch: per-lane quantized share this session
+	// gpuBusySec accumulates each lane's busy GPU-amount-seconds for
+	// Result.PerGPUUtilization; curLane tells runJob which lane the job
+	// it is executing runs on.
+	gpuBusySec []float64
+	curLane    int
 
 	// maxSpan is the longest job span (session start to completion,
 	// lead included) observed so far. It bounds how many session spans
@@ -125,6 +147,30 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 	for _, st := range states {
 		l.byName[st.inst.App.Name] = st
 	}
+	if cfg.NGPUs > 1 {
+		l.topo = cluster.Topology{NGPUs: cfg.NGPUs, PerGPUBytes: gpu.V100().MemBytes}
+		l.appNames = make([]string, len(states))
+		l.appIdx = make(map[string]int, len(states))
+		l.wsBytes = make([]int64, len(states))
+		l.loadBuf = make([]float64, len(states))
+		l.laneOf = make([]int, len(states))
+		l.laneApps = make([][]int, cfg.NGPUs)
+		l.laneBusy = make([]float64, cfg.NGPUs)
+		l.laneShare = make([]float64, cfg.NGPUs)
+		l.gpuBusySec = make([]float64, cfg.NGPUs)
+		for i, st := range states {
+			l.appNames[i] = st.inst.App.Name
+			l.appIdx[st.inst.App.Name] = i
+			// The app's GPU working set: every node resident at its full
+			// structure plus its peak activation (the placement-relevant
+			// upper bound; serving may run smaller structures).
+			for _, ni := range st.inst.Nodes() {
+				full := ni.FullStructure()
+				l.wsBytes[i] += full.ParamBytes() + full.PeakActivationBytes()
+			}
+		}
+		l.tel.EnableGPUCounters(cfg.NGPUs)
+	}
 	l.actual = make([][]int, len(states))
 	l.predicted = make([][]int, len(states))
 	for i := range states {
@@ -141,7 +187,9 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 	}
 	if cfg.Audit || cfg.AuditReport != nil {
 		l.aud = audit.New(cfg.AuditReport, audit.Params{
-			GPUs: cfg.GPUs,
+			GPUs:        cfg.GPUs,
+			NGPUs:       cfg.NGPUs,
+			PerGPUBytes: l.topo.PerGPUBytes,
 			// Steady-state planners plan from the current share alone,
 			// so their fraction sums audit against it strictly.
 			StrictShare: steady,
@@ -195,6 +243,15 @@ func (l *runLoop) run() error {
 		PlanMemoStats() (uint64, uint64, uint64)
 	}); ok {
 		l.res.PlanMemoHits, l.res.PlanMemoMisses, l.res.PlanMemoInvalidated = m.PlanMemoStats()
+	}
+	if l.gpuBusySec != nil {
+		laneSec := l.cfg.Horizon.Seconds() * l.cfg.GPUs / float64(l.cfg.NGPUs)
+		l.res.PerGPUUtilization = make([]float64, len(l.gpuBusySec))
+		if laneSec > 0 {
+			for g, busy := range l.gpuBusySec {
+				l.res.PerGPUUtilization[g] = busy / laneSec
+			}
+		}
 	}
 	l.tel.Counters(l.cfg.Clock.SessionStart(l.nSessions))
 	return l.err
@@ -351,6 +408,13 @@ func (l *runLoop) periodStart(period int) {
 		}
 	}
 
+	if l.topo.NGPUs > 1 {
+		l.placeApps(period, start, n)
+		if l.err != nil {
+			return
+		}
+	}
+
 	pctx := &sched.PeriodContext{
 		Period: period,
 		Start:  start,
@@ -425,8 +489,13 @@ func (l *runLoop) periodStart(period int) {
 					l.res.FaultRetrainFailures++
 					l.tel.RetrainFault(at.Completion, r.App, r.Node, "retrain-fail", ai)
 					l.rec.RecordBusy(at.Start, at.Completion, r.GPUFraction)
+					lane := l.laneOfApp(r.App)
+					if l.gpuBusySec != nil {
+						l.gpuBusySec[lane] += r.GPUFraction * at.Completion.Sub(at.Start).Seconds()
+						l.tel.GPUBusy(lane, at.Completion.Sub(at.Start), r.GPUFraction)
+					}
 					l.faultBusy = append(l.faultBusy, busyWindow{
-						from: at.Start, to: at.Completion, fraction: r.GPUFraction,
+						from: at.Start, to: at.Completion, fraction: r.GPUFraction, lane: lane,
 					})
 				}
 				if l.aud != nil {
@@ -448,6 +517,11 @@ func (l *runLoop) periodStart(period int) {
 			l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: r, abandoned: abandoned})
 			if !abandoned && r.GPUFraction > 0 && r.Busy > 0 {
 				l.rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
+				if l.gpuBusySec != nil {
+					lane := l.laneOfApp(r.App)
+					l.gpuBusySec[lane] += r.GPUFraction * r.Busy.Seconds()
+					l.tel.GPUBusy(lane, r.Busy, r.GPUFraction)
+				}
 			}
 		}
 		// Completions enter the heap and get an event at their apply
@@ -497,6 +571,63 @@ func (l *runLoop) periodStart(period int) {
 		l.ff.reset()
 	}
 	l.scheduleNextWork(first - 1)
+}
+
+// placeApps recomputes the app→GPU placement at a period boundary.
+// Apps are ranked by the period's predicted load; the placement only
+// changes when the ranking does (or an app's working set would — those
+// are fixed for the run), so steady workloads keep a stable placement
+// and the fast-forward memo keys stay repeatable across periods.
+func (l *runLoop) placeApps(period int, start simtime.Instant, n int) {
+	for i := range l.states {
+		sum := 0
+		for s := 0; s < n; s++ {
+			sum += l.predicted[i][s]
+		}
+		l.loadBuf[i] = float64(sum)
+	}
+	ranks := cluster.RankLoads(l.appNames, l.loadBuf)
+	if l.place != nil && cluster.RanksEqual(ranks, l.lastRanks) {
+		return
+	}
+	apps := make([]cluster.AppLoad, len(l.states))
+	for i, name := range l.appNames {
+		apps[i] = cluster.AppLoad{Name: name, WorkingSetBytes: l.wsBytes[i], LoadRank: ranks[i]}
+	}
+	pl, err := cluster.Place(l.topo, apps)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	l.place = pl
+	l.lastRanks = append(l.lastRanks[:0], ranks...)
+	for g := range l.laneApps {
+		l.laneApps[g] = l.laneApps[g][:0]
+	}
+	for i, name := range l.appNames {
+		g, _ := pl.GPU(name)
+		l.laneOf[i] = g
+		l.laneApps[g] = append(l.laneApps[g], i)
+	}
+	if l.tel.Tracing() {
+		for i, name := range l.appNames {
+			l.tel.Placement(start, period, name, l.laneOf[i], l.wsBytes[i], ranks[i])
+		}
+	}
+	if l.aud != nil {
+		if err := l.aud.OnPlacement(period, pl, l.appNames); err != nil {
+			l.fail(err)
+		}
+	}
+}
+
+// laneOfApp returns the lane the app currently runs on (0 on the
+// single-partition path).
+func (l *runLoop) laneOfApp(name string) int {
+	if l.laneOf == nil {
+		return 0
+	}
+	return l.laneOf[l.appIdx[name]]
 }
 
 // drainRetrains applies every heap entry due at or before maxSession,
@@ -576,6 +707,10 @@ func (l *runLoop) workSession(sess int) {
 			l.fail(err)
 			return
 		}
+	}
+	if l.place != nil {
+		l.laneSession(sess, start, si)
+		return
 	}
 
 	// GPU claimed by still-running whole-pool retrains, summed in plan
@@ -749,6 +884,189 @@ func (l *runLoop) workSession(sess int) {
 	}
 }
 
+// laneSession is workSession on a sharded server: each GPU lane gets
+// its own share (from its own lane's retrain occupancy), its own
+// session plan over only the apps placed on it, and its jobs execute
+// before the next lane plans — scheduler plans alias reusable arenas,
+// so lane g's plan must be consumed before lane g+1's PlanSession call
+// may overwrite it. The fast-forward memo covers the whole session
+// across lanes: its key carries the placement digest and every lane's
+// share, so a replay reproduces the same per-lane outcomes.
+func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
+	cfg := l.cfg
+
+	// Retrain occupancy per lane, in plan order within each lane (the
+	// summation order is fixed by the plan, keeping runs bit-identical).
+	for g := range l.laneBusy {
+		l.laneBusy[g] = 0
+	}
+	for i := range l.retrains {
+		pr := &l.retrains[i]
+		if !pr.applied && !pr.abandoned && pr.GPUFraction > 0 && !start.Before(pr.Completion.Add(-pr.Busy)) {
+			l.laneBusy[l.laneOfApp(pr.App)] += pr.GPUFraction
+		}
+	}
+	for i := range l.faultBusy {
+		fb := &l.faultBusy[i]
+		if !start.Before(fb.from) && start.Before(fb.to) {
+			l.laneBusy[fb.lane] += fb.fraction
+		}
+	}
+	concurrency := math.Ceil(float64(l.ewmaTa) / float64(cfg.Clock.Session))
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	laneAmount := cfg.GPUs / float64(cfg.NGPUs)
+	for g := range l.laneShare {
+		avail := laneAmount - l.laneBusy[g]
+		if avail < 0.1 {
+			avail = 0.1
+		}
+		share := avail / concurrency
+		if share > avail {
+			share = avail
+		}
+		share = math.Round(share*100) / 100
+		if share < 0.02 {
+			share = 0.02
+		}
+		l.laneShare[g] = share
+	}
+
+	if l.flt != nil {
+		// Per-app fault decisions, keyed by the owning lane so a
+		// placement change re-rolls them (two lanes never share a memory
+		// partition); computed before the fast-forward lookup exactly as
+		// on the single-partition path.
+		for i, st := range l.states {
+			l.faultWords[i] = l.flt.SessionWordGPU(sess, st.inst.App.Name, st.nodeNames, cfg.Retraining, l.laneOf[i])
+			if l.faultWords[i]&1 != 0 && l.actual[i][si] > 0 {
+				l.res.FaultDegradedJobs++
+				l.tel.Degrade(start, sess, st.inst.App.Name)
+			}
+		}
+	}
+
+	var key []byte
+	capture := false
+	if l.ff != nil {
+		key = l.ff.laneKey(l.place.Digest(), l.laneShare, l.predicted, l.actual, si, l.states, l.faultWords)
+		m, c := l.ff.lookup(key)
+		l.tel.FF(m != nil)
+		if m != nil {
+			l.replay(m, start, sess)
+			return
+		}
+		capture = c
+	}
+
+	var memo *sessionMemo
+	if capture {
+		memo = &sessionMemo{}
+	}
+	mutated := false
+	var sessionMakespan simtime.Duration
+	for g := range l.laneApps {
+		apps := l.laneApps[g]
+		if len(apps) == 0 {
+			continue
+		}
+		ctx := l.ctx
+		ctx.Session = sess
+		ctx.Start = start
+		ctx.GPUShare = l.laneShare[g]
+		ctx.GPU = g
+		ctx.Jobs = ctx.Jobs[:0]
+		for _, i := range apps {
+			ctx.Jobs = append(ctx.Jobs, sched.JobRequest{
+				Instance: l.states[i].inst,
+				Profile:  l.states[i].prof,
+				Requests: l.predicted[i][si],
+			})
+		}
+		wall := time.Now()
+		plan, err := cfg.Method.PlanSession(ctx)
+		dt := time.Since(wall)
+		l.res.MeasuredSessionPlanning += dt
+		l.tel.PlanningObserve(dt)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		if plan.Overhead > l.res.SessionOverhead {
+			l.res.SessionOverhead = plan.Overhead
+		}
+		if memo != nil && plan.Overhead > memo.overhead {
+			memo.overhead = plan.Overhead
+		}
+		if l.aud != nil {
+			if err := l.aud.OnSessionPlan(ctx, plan); err != nil {
+				l.fail(err)
+				return
+			}
+		}
+		if l.tel.Tracing() {
+			l.tel.SessionPlan(start, sess, ctx.GPUShare, plan.Overhead, len(plan.Jobs))
+			for i := range plan.Jobs {
+				jp := &plan.Jobs[i]
+				l.tel.JobPlan(start, sess, jp.App, jp.Fraction, jp.Batch, jp.InferTime, jp.RetrainTime)
+			}
+		}
+		l.curLane = g
+		for li, i := range apps {
+			if l.actual[i][si] == 0 {
+				continue
+			}
+			st := l.states[i]
+			jp := jobPlanFor(plan, st.inst.App.Name)
+			var degraded sched.JobPlan
+			if l.flt != nil && l.faultWords[i]&1 != 0 {
+				degraded = sched.JobPlan{
+					App:      st.inst.App.Name,
+					Fraction: 0.02,
+					Batch:    fallbackBatch(l.actual[i][si]),
+					Nodes:    st.degradedNodes,
+				}
+				if jp != nil && jp.Fraction > 0 && jp.Batch > 0 {
+					degraded.Fraction, degraded.Batch = jp.Fraction, jp.Batch
+				}
+				if l.aud != nil {
+					if err := l.aud.OnFaultDegrade(ctx, li, jp, &degraded); err != nil {
+						l.fail(err)
+						return
+					}
+				}
+				jp = &degraded
+			}
+			dur, mut, err := l.runJob(st, jp, plan.Overhead, start, l.actual[i][si], memo)
+			if err != nil {
+				l.fail(err)
+				return
+			}
+			if l.aud != nil {
+				if err := l.aud.OnServed(st.inst.App.Name, l.actual[i][si], dur <= st.inst.App.SLO); err != nil {
+					l.fail(err)
+					return
+				}
+			}
+			mutated = mutated || mut
+			if dur > sessionMakespan {
+				sessionMakespan = dur
+			}
+		}
+	}
+	if sessionMakespan > 0 {
+		l.ewmaTa = time.Duration(0.1*float64(sessionMakespan) + 0.9*float64(l.ewmaTa))
+	}
+	if sessionMakespan > l.maxSpan {
+		l.maxSpan = sessionMakespan
+	}
+	if memo != nil && !mutated {
+		memo.makespan = sessionMakespan
+		l.ff.store(key, memo)
+	}
+}
+
 // replay re-emits a memoized session's outcome. The recorder calls and
 // RNG draws are issued in exactly the order the full execution issued
 // them; only the per-request random draws run live, keeping the shared
@@ -770,6 +1088,10 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant, sess int) {
 		}
 		l.rec.RecordJob(j.inferTotal, 0)
 		l.rec.RecordBusy(start.Add(j.lead), start.Add(j.latency), j.fraction)
+		if l.gpuBusySec != nil {
+			l.gpuBusySec[j.lane] += j.fraction * (j.latency - j.lead).Seconds()
+			l.tel.GPUBusy(j.lane, j.latency-j.lead, j.fraction)
+		}
 		l.tel.Job(start, sess, j.st.inst.App.Name, j.actual,
 			j.lead, j.inferTotal, 0, j.latency, j.met, true)
 		l.res.Jobs++
@@ -797,4 +1119,5 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant, sess int) {
 type busyWindow struct {
 	from, to simtime.Instant
 	fraction float64
+	lane     int
 }

@@ -40,6 +40,7 @@ type sessionMemo struct {
 // the shared RNG stream identical.
 type ffJob struct {
 	st         *appState
+	lane       int
 	actual     int
 	fraction   float64
 	lead       simtime.Duration
@@ -73,6 +74,28 @@ func (f *fastForward) reset() {
 func (f *fastForward) sessionKey(share float64, predicted, actual [][]int, si int, states []*appState, faultWords []uint64) []byte {
 	b := f.buf[:0]
 	b = appendU64(b, math.Float64bits(share))
+	for i, st := range states {
+		b = appendU64(b, uint64(predicted[i][si]))
+		b = appendU64(b, uint64(actual[i][si]))
+		b = appendU64(b, st.digest())
+	}
+	for _, w := range faultWords {
+		b = appendU64(b, w)
+	}
+	f.buf = b
+	return b
+}
+
+// laneKey is sessionKey for a sharded server: the placement digest and
+// every lane's quantized share replace the single global share. A
+// replay can therefore only match an execution that ran under the same
+// app→GPU assignment and the same per-lane compute splits.
+func (f *fastForward) laneKey(placement uint64, shares []float64, predicted, actual [][]int, si int, states []*appState, faultWords []uint64) []byte {
+	b := f.buf[:0]
+	b = appendU64(b, placement)
+	for _, s := range shares {
+		b = appendU64(b, math.Float64bits(s))
+	}
 	for i, st := range states {
 		b = appendU64(b, uint64(predicted[i][si]))
 		b = appendU64(b, uint64(actual[i][si]))

@@ -43,6 +43,14 @@ type Config struct {
 	Method sched.Method
 	// GPUs is the edge server's GPU count (default 4).
 	GPUs float64
+	// NGPUs shards the server into that many GPU lanes (default 1: the
+	// single shared partition every earlier configuration ran on, with
+	// byte-identical results). With NGPUs > 1, apps are bin-packed onto
+	// lanes by profiled working-set bytes and predicted load
+	// (internal/cluster), each lane runs its own session planning over
+	// its GPUs/NGPUs share of the compute, and retraining is charged to
+	// the owning lane.
+	NGPUs int
 	// Horizon is the simulated duration (default 1000 s as §2).
 	Horizon simtime.Duration
 	// Clock sets session/period granularity (default 5 ms / 50 s).
@@ -122,6 +130,12 @@ func (c *Config) fillDefaults() error {
 	if c.GPUs < 0 {
 		return fmt.Errorf("serving: %g GPUs", c.GPUs)
 	}
+	if c.NGPUs == 0 {
+		c.NGPUs = 1
+	}
+	if c.NGPUs < 1 {
+		return fmt.Errorf("serving: %d GPU lanes", c.NGPUs)
+	}
 	if c.Horizon == 0 {
 		c.Horizon = 1000 * time.Second
 	}
@@ -191,6 +205,11 @@ type Result struct {
 	// AuditChecks counts the invariant evaluations the auditor
 	// performed (zero when auditing was disabled).
 	AuditChecks int
+
+	// PerGPUUtilization is each GPU lane's mean busy fraction over the
+	// horizon, relative to its GPUs/NGPUs compute share (nil unless
+	// Config.NGPUs > 1).
+	PerGPUUtilization []float64
 
 	// FinishRateValid and UpdatedModelValid mask the corresponding
 	// series: entries are true where the window (period) observed at
@@ -701,6 +720,10 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 	met := latency <= a.SLO
 	rec.RecordJob(inferTotal, retrainTotal)
 	rec.RecordBusy(jobStart, jobEnd, fraction)
+	if l.gpuBusySec != nil {
+		l.gpuBusySec[l.curLane] += fraction * jobEnd.Sub(jobStart).Seconds()
+		l.tel.GPUBusy(l.curLane, jobEnd.Sub(jobStart), fraction)
+	}
 	l.tel.Job(start, l.ctx.Session, a.Name, actual, lead, inferTotal, retrainTotal, latency, met, false)
 	res.Jobs++
 
@@ -750,6 +773,7 @@ func (l *runLoop) runJob(st *appState, jp *sched.JobPlan,
 	if memo != nil {
 		memo.jobs = append(memo.jobs, ffJob{
 			st:         st,
+			lane:       l.curLane,
 			actual:     actual,
 			fraction:   fraction,
 			lead:       lead,

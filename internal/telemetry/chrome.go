@@ -33,6 +33,7 @@ var requiredFields = map[string][]string{
 	EvDegrade:        {"session", "app"},
 	EvBurst:          {"period", "app", "first_session", "sessions", "factor"},
 	EvDriftSpike:     {"period", "app", "intensity"},
+	EvPlacement:      {"period", "app", "gpu", "ws_bytes", "load_rank"},
 }
 
 // Validate reads a JSONL decision trace and checks every line against

@@ -42,20 +42,27 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+	// overflow counts observations above the top bucket's range. They
+	// still clamp into the last bucket (quantiles stay monotone and
+	// max is exact), but the count surfaces in Summary so a
+	// pathological run cannot silently under-report its tail.
+	overflow uint64
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{min: math.Inf(1)} }
 
-func bucketIndex(ms float64) int {
+// bucketIndex returns the containing bucket and whether the value lay
+// beyond the top bucket's range (clamped in).
+func bucketIndex(ms float64) (int, bool) {
 	if ms <= histMinMs {
-		return 0
+		return 0, false
 	}
 	i := int(math.Log2(ms/histMinMs) * invLog2Factor)
 	if i >= histBuckets {
-		i = histBuckets - 1
+		return histBuckets - 1, true
 	}
-	return i
+	return i, false
 }
 
 // bucketUpper returns the upper bound (ms) of bucket i.
@@ -77,7 +84,11 @@ func (h *Histogram) ObserveMs(ms float64) {
 	if h == nil || ms < 0 || math.IsNaN(ms) {
 		return
 	}
-	h.counts[bucketIndex(ms)]++
+	i, over := bucketIndex(ms)
+	h.counts[i]++
+	if over {
+		h.overflow++
+	}
 	h.count++
 	h.sum += ms
 	if ms < h.min {
@@ -94,6 +105,15 @@ func (h *Histogram) Count() uint64 {
 		return 0
 	}
 	return h.count
+}
+
+// Overflow returns the number of observations that exceeded the top
+// bucket's range (clamped into it for quantile purposes).
+func (h *Histogram) Overflow() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.overflow
 }
 
 // Quantile returns the q-quantile (q ∈ [0, 1]) in milliseconds,
@@ -149,6 +169,11 @@ type Summary struct {
 	P99Ms  float64
 	P999Ms float64
 	MaxMs  float64
+	// Overflow counts observations beyond the top bucket: nonzero
+	// means the tail quantiles are clamped-bucket estimates and the
+	// true p99.9 may be larger (MaxMs stays exact). Omitted from JSON
+	// when zero, so well-ranged runs serialize unchanged.
+	Overflow uint64 `json:",omitempty"`
 }
 
 // Summary returns the histogram's quantile summary.
@@ -157,12 +182,13 @@ func (h *Histogram) Summary() Summary {
 		return Summary{}
 	}
 	return Summary{
-		Count:  h.count,
-		MeanMs: h.sum / float64(h.count),
-		P50Ms:  h.Quantile(0.50),
-		P90Ms:  h.Quantile(0.90),
-		P99Ms:  h.Quantile(0.99),
-		P999Ms: h.Quantile(0.999),
-		MaxMs:  h.max,
+		Count:    h.count,
+		MeanMs:   h.sum / float64(h.count),
+		P50Ms:    h.Quantile(0.50),
+		P90Ms:    h.Quantile(0.90),
+		P99Ms:    h.Quantile(0.99),
+		P999Ms:   h.Quantile(0.999),
+		MaxMs:    h.max,
+		Overflow: h.overflow,
 	}
 }

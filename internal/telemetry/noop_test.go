@@ -22,6 +22,8 @@ func noopHotPath(c *Collector) {
 	c.CacheCorrupt("app")
 	c.ProfileBuild("app", time.Millisecond, 4, 13, false)
 	c.ProfileUnit("app", "node", "full", time.Millisecond)
+	c.Placement(ts, 0, "app", 1, 1<<20, 0)
+	c.GPUBusy(1, time.Millisecond, 0.5)
 }
 
 func TestNoopZeroAlloc(t *testing.T) {

@@ -36,6 +36,7 @@ const (
 	EvDegrade        = "degrade"               // GPU-mem fault degraded a job: session, app
 	EvBurst          = "burst"                 // arrival burst injected: period, app, first_session, sessions, factor
 	EvDriftSpike     = "drift_spike"           // drift spike injected: period, app, intensity
+	EvPlacement      = "placement"             // app→GPU assignment (multi-GPU): period, app, gpu, ws_bytes, load_rank
 )
 
 // Options configures a Collector.
@@ -78,6 +79,12 @@ type Collector struct {
 	cacheHits, cacheMisses                uint64
 	cacheCorrupt                          uint64
 	planHits, planMisses, planInvalidated uint64
+
+	// gpuBusyMs accumulates busy GPU-milliseconds per GPU lane
+	// (fraction × duration). Nil unless EnableGPUCounters sized it —
+	// single-GPU runs never carry the per-GPU fields, keeping their
+	// traces byte-identical to builds without the counters.
+	gpuBusyMs []float64
 }
 
 // New returns a collector for the options, or nil (the no-op) when the
@@ -521,6 +528,50 @@ func (c *Collector) Burst(ts simtime.Instant, period int, app string, firstSessi
 	c.end()
 }
 
+// Placement emits one application's GPU assignment (multi-GPU runs
+// recompute placement at period boundaries when the load ranking or a
+// working set moved; each recomputation emits one event per app).
+func (c *Collector) Placement(ts simtime.Instant, period int, app string, gpu int, wsBytes int64, loadRank int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvPlacement)
+	c.fInt("period", int64(period))
+	c.fStr("app", app)
+	c.fInt("gpu", int64(gpu))
+	c.fInt("ws_bytes", wsBytes)
+	c.fInt("load_rank", int64(loadRank))
+	c.end()
+}
+
+// EnableGPUCounters sizes the per-GPU busy-time counters for an n-GPU
+// run. Until called (single-GPU runs never call it) the counters stay
+// nil and Counters emits no per-GPU fields.
+func (c *Collector) EnableGPUCounters(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.gpuBusyMs = make([]float64, n)
+}
+
+// GPUBusy accumulates fraction × duration of busy time on GPU lane g.
+// A no-op unless EnableGPUCounters sized the counters.
+func (c *Collector) GPUBusy(g int, busy simtime.Duration, fraction float64) {
+	if c == nil || c.gpuBusyMs == nil || g < 0 || g >= len(c.gpuBusyMs) {
+		return
+	}
+	c.gpuBusyMs[g] += float64(busy) * 1e-6 * fraction
+}
+
+// GPUBusyMs returns the accumulated busy GPU-milliseconds per lane
+// (nil unless EnableGPUCounters was called).
+func (c *Collector) GPUBusyMs() []float64 {
+	if c == nil {
+		return nil
+	}
+	return c.gpuBusyMs
+}
+
 // DriftSpike emits one injected mid-period drift shock.
 func (c *Collector) DriftSpike(ts simtime.Instant, period int, app string, intensity float64) {
 	if c == nil || c.w == nil {
@@ -593,5 +644,14 @@ func (c *Collector) Counters(ts simtime.Instant) {
 	c.fInt("plan_hits", int64(c.planHits))
 	c.fInt("plan_misses", int64(c.planMisses))
 	c.fInt("plan_invalidated", int64(c.planInvalidated))
+	// Per-GPU busy time, only on multi-GPU runs (EnableGPUCounters):
+	// extra fields are schema-legal, and single-GPU traces stay
+	// byte-identical.
+	for g, ms := range c.gpuBusyMs {
+		c.buf = append(c.buf, `,"gpu`...)
+		c.buf = strconv.AppendInt(c.buf, int64(g), 10)
+		c.buf = append(c.buf, `_busy_ms":`...)
+		c.buf = strconv.AppendFloat(c.buf, ms, 'g', -1, 64)
+	}
 	c.end()
 }

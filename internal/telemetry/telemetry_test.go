@@ -145,7 +145,99 @@ func emitAll(c *Collector) {
 	c.Degrade(ts, 600, "social-media")
 	c.Burst(ts, 2, "video-surveillance", 140, 200, 3)
 	c.DriftSpike(ts, 2, "video-surveillance", 0.5)
+	c.Placement(ts, 2, "video-surveillance", 1, 200<<20, 0)
+	c.EnableGPUCounters(2)
+	c.GPUBusy(0, 40*time.Millisecond, 0.5)
+	c.GPUBusy(1, 10*time.Millisecond, 1)
 	c.Counters(ts)
+}
+
+// TestHistogramOverflow is the regression test for silent top-bucket
+// clamping: samples beyond the histogram's range must be counted and
+// surfaced in Summary.Overflow (omitted from JSON when zero), instead
+// of disappearing into the last bucket.
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveMs(5)
+	if h.Overflow() != 0 {
+		t.Fatalf("in-range observation counted as overflow")
+	}
+	s := h.Summary()
+	if s.Overflow != 0 {
+		t.Fatalf("Summary.Overflow = %d with no overflow", s.Overflow)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Overflow") {
+		t.Fatalf("zero overflow serialized: %s", b)
+	}
+
+	const huge = 1e9 // ms — far beyond the ~4.3e6 ms top bucket
+	h.ObserveMs(huge)
+	h.ObserveMs(2 * huge)
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (overflow samples still count)", h.Count())
+	}
+	s = h.Summary()
+	if s.Overflow != 2 {
+		t.Fatalf("Summary.Overflow = %d, want 2", s.Overflow)
+	}
+	if s.MaxMs != 2*huge {
+		t.Fatalf("MaxMs = %g, want %g (max stays exact)", s.MaxMs, 2*huge)
+	}
+	if s.P999Ms > s.MaxMs {
+		t.Fatalf("P999Ms %g above MaxMs %g", s.P999Ms, s.MaxMs)
+	}
+	if b, err = json.Marshal(s); err != nil || !strings.Contains(string(b), `"Overflow":2`) {
+		t.Fatalf("overflow not serialized: %s (%v)", b, err)
+	}
+}
+
+func TestGPUBusyCounters(t *testing.T) {
+	c := New(Options{Hist: true})
+	c.GPUBusy(0, time.Second, 1) // before EnableGPUCounters: no-op
+	if c.GPUBusyMs() != nil {
+		t.Fatal("counters materialized before EnableGPUCounters")
+	}
+	c.EnableGPUCounters(2)
+	c.GPUBusy(0, 40*time.Millisecond, 0.5)
+	c.GPUBusy(1, 10*time.Millisecond, 1)
+	c.GPUBusy(-1, time.Second, 1) // out of range: ignored
+	c.GPUBusy(2, time.Second, 1)
+	got := c.GPUBusyMs()
+	if len(got) != 2 || got[0] != 20 || got[1] != 10 {
+		t.Fatalf("GPUBusyMs = %v, want [20 10]", got)
+	}
+
+	// The counters event carries per-GPU fields only when enabled.
+	var plain, multi bytes.Buffer
+	p := New(Options{Trace: &plain})
+	p.Counters(0)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "gpu0_busy_ms") {
+		t.Fatalf("single-GPU counters event grew per-GPU fields: %s", plain.String())
+	}
+	m := New(Options{Trace: &multi})
+	m.EnableGPUCounters(2)
+	m.GPUBusy(1, 10*time.Millisecond, 1)
+	m.Counters(0)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(multi.String(), `"gpu0_busy_ms":0`) ||
+		!strings.Contains(multi.String(), `"gpu1_busy_ms":10`) {
+		t.Fatalf("multi-GPU counters event missing per-GPU fields: %s", multi.String())
+	}
+	if _, err := Validate(strings.NewReader(multi.String())); err != nil {
+		t.Fatalf("multi-GPU counters event fails validation: %v", err)
+	}
 }
 
 func TestTraceSchemaRoundTrip(t *testing.T) {

@@ -46,11 +46,12 @@ done
 # worker pool, the shared profile cache, the parallel offline
 # profiler, the event engine, the serving loop that consumes
 # scheduler plans (now also under fault injection), the fault
-# injector's pure-hash decisions, and the memory manager and auditor
-# those runs exercise. -short skips the multi-minute determinism
-# sweeps; the full suite above already runs them race-free.
-echo "== go test -race (experiments, serving, faults, profile, eventsim, core, sched, gpumem, audit) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/faults/... ./internal/profile/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/...
+# injector's pure-hash decisions, the cluster placer behind sharded
+# lanes, and the memory manager and auditor those runs exercise.
+# -short skips the multi-minute determinism sweeps; the full suite
+# above already runs them race-free.
+echo "== go test -race (experiments, serving, faults, profile, eventsim, core, sched, gpumem, audit, cluster) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/faults/... ./internal/profile/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/... ./internal/cluster/...
 
 # Fuzz smoke: a few seconds per target catches regressions in the
 # properties the fuzz corpora pin (regression-fit robustness, profile
@@ -74,6 +75,14 @@ go run ./cmd/repro -quick -horizon 100s -rate 80 -trace "$tracedir" -hist fig18 
 go run ./cmd/tracecheck -q "$tracedir"/fig18-*.jsonl
 first=$(ls "$tracedir"/fig18-*.jsonl | head -1)
 go run ./cmd/tracecheck -q -chrome "$tracedir/smoke.chrome.json" "$first"
+
+# Sharded smoke: one quick artifact on two GPU lanes under the
+# fail-fast auditor (placement rule included), plus the CLI flag
+# validators' own tests. The scaling artifact's full 1/2/4-lane sweep
+# and the NGPUs=1 golden byte-identity run in the suite above.
+echo "== multi-GPU smoke =="
+go test ./internal/cliflags/
+go run ./cmd/repro -quick -horizon 100s -rate 80 -audit -gpus 2 fig18 >/dev/null
 
 # Quick bench smoke: regenerate the three benchmark artifacts — the
 # serial planner plus the 4-worker variant — plus the cold-profiling
