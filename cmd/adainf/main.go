@@ -22,7 +22,6 @@ import (
 	"adainf/internal/baselines"
 	"adainf/internal/cliflags"
 	"adainf/internal/core"
-	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/mathx"
@@ -56,7 +55,8 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			"deterministic fault injection: \"default\" or comma-separated k=v "+
 				"(retrain-fail, retrain-slow, slow-factor, retries, backoff, mem-fail, "+
-				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity); empty = disabled")
+				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity, "+
+				"gpu-crash, gpu-recover, gpu-crash-after, gpu-crash-max); empty = disabled")
 		faultSeed = flag.Int64("fault-seed", 1,
 			"seed of the fault injector (independent of -seed; identical seeds give byte-identical injections)")
 	)
@@ -64,11 +64,13 @@ func main() {
 	if *chromePath != "" && *tracePath == "" {
 		fatal(fmt.Errorf("-trace-chrome requires -trace"))
 	}
+	faultCfg, faultErr := cliflags.Faults("-faults", *faultSpec, *faultSeed)
 	if err := cliflags.First(
 		cliflags.GPUAmount("-gpus", *gpus),
 		cliflags.Lanes("-ngpus", *ngpus),
 		cliflags.Workers("-plan-workers", *planWorkers),
 		cliflags.Workers("-profile-workers", *profileWorkers),
+		faultErr,
 	); err != nil {
 		fatal(err)
 	}
@@ -82,15 +84,6 @@ func main() {
 	apps, err := app.CatalogN(*nApps)
 	if err != nil {
 		fatal(err)
-	}
-	var faultCfg *faults.Config
-	if *faultSpec != "" {
-		fc, err := faults.Parse(*faultSpec)
-		if err != nil {
-			fatal(err)
-		}
-		fc.Seed = *faultSeed
-		faultCfg = &fc
 	}
 	method, strat, policy, retrain, divergent, err := buildMethod(*methodName, *alpha)
 	if err != nil {
@@ -182,6 +175,12 @@ func main() {
 			res.FaultRetrainFailures, res.FaultRetrainAbandoned, res.FaultRetrainSlowed,
 			res.FaultIncrementalFailed+res.FaultIncrementalSlowed,
 			res.FaultDegradedJobs, res.FaultBursts, res.FaultDriftSpikes)
+		if faultCfg.GPUFaults() {
+			fmt.Printf("  lane faults:     %d crashes / %d recoveries, %d re-placements, "+
+				"%d requests shed, %d suspended retrain app-periods\n",
+				res.FaultGPUCrashes, res.FaultGPURecoveries, res.FaultReplacements,
+				res.FaultShedRequests, res.FaultSuspendedRetrainPeriods)
+		}
 	}
 	if *histOn {
 		fmt.Println("\nlatency quantiles (ms):")

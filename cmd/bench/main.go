@@ -31,7 +31,6 @@ import (
 	"adainf/internal/cliflags"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
-	"adainf/internal/faults"
 	"adainf/internal/gpu"
 	"adainf/internal/gpumem"
 	"adainf/internal/profile"
@@ -108,11 +107,13 @@ func main() {
 	)
 	flag.Parse()
 
+	faultCfg, faultErr := cliflags.Faults("-faults", *faultSpec, *faultSeed)
 	if err := cliflags.First(
 		cliflags.Workers("-workers", *workers),
 		cliflags.Workers("-plan-workers", *planWorkers),
 		cliflags.Workers("-profile-workers", *profileWorkers),
 		cliflags.Lanes("-gpus", *gpus),
+		faultErr,
 	); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(2)
@@ -161,15 +162,7 @@ func main() {
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
 		NGPUs: *gpus,
 	}
-	if *faultSpec != "" {
-		fc, err := faults.Parse(*faultSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(2)
-		}
-		fc.Seed = *faultSeed
-		opts.Faults = &fc
-	}
+	opts.Faults = faultCfg
 	for _, a := range artifacts {
 		// The plain-named measurement plans serially so the baseline
 		// comparison (and -fail-above) stays apples-to-apples; the

@@ -6,8 +6,8 @@
 //	repro all
 //
 // Artifacts: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2 resilience
-// scaling.
+// fig18 fig19 fig20 fig21 fig22 fig23 fig24 table1 table2 failover
+// resilience scaling.
 //
 // Each artifact prints labelled series and tables matching the paper's
 // figure, plus notes comparing the measured shape to the published one.
@@ -24,7 +24,6 @@ import (
 	"adainf/internal/cliflags"
 	"adainf/internal/core"
 	"adainf/internal/experiments"
-	"adainf/internal/faults"
 	"adainf/internal/profile"
 )
 
@@ -50,6 +49,7 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 	"table2":     experiments.Table2,
 	"resilience": experiments.Resilience,
 	"scaling":    experiments.Scaling,
+	"failover":   experiments.Failover,
 }
 
 func main() {
@@ -79,7 +79,8 @@ func main() {
 		faultSpec = flag.String("faults", "",
 			"deterministic fault injection: \"default\" or comma-separated k=v "+
 				"(retrain-fail, retrain-slow, slow-factor, retries, backoff, mem-fail, "+
-				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity); empty = disabled")
+				"burst, burst-factor, burst-sessions, drift-spike, spike-intensity, "+
+				"gpu-crash, gpu-recover, gpu-crash-after, gpu-crash-max); empty = disabled")
 		faultSeed = flag.Int64("fault-seed", 1,
 			"seed of the fault injector (independent of -seed; identical seeds give byte-identical injections)")
 		gpus = flag.Int("gpus", 1,
@@ -87,11 +88,13 @@ func main() {
 	)
 	flag.Usage = usage
 	flag.Parse()
+	faultCfg, faultErr := cliflags.Faults("-faults", *faultSpec, *faultSeed)
 	if err := cliflags.First(
 		cliflags.Workers("-parallel", *parallel),
 		cliflags.Workers("-plan-workers", *planWorkers),
 		cliflags.Workers("-profile-workers", *profileWorkers),
 		cliflags.Lanes("-gpus", *gpus),
+		faultErr,
 	); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(2)
@@ -127,15 +130,7 @@ func main() {
 		Audit: *auditOn, Hist: *histOn, TraceDir: *traceDir,
 		NGPUs: *gpus,
 	}
-	if *faultSpec != "" {
-		fc, err := faults.Parse(*faultSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(2)
-		}
-		fc.Seed = *faultSeed
-		opts.Faults = &fc
-	}
+	opts.Faults = faultCfg
 	if *progress {
 		opts.Progress = func(ev experiments.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "repro: %s arm %d/%d done (%s)\n",

@@ -37,6 +37,7 @@ package audit
 import (
 	"fmt"
 
+	"adainf/internal/admit"
 	"adainf/internal/cluster"
 	"adainf/internal/sched"
 	"adainf/internal/simtime"
@@ -105,6 +106,21 @@ const (
 	// sums are bounded by the lane's share of the GPU amount (checked
 	// per session by RuleShareSum against the lane-divided bound).
 	RulePlacement = "cluster-placement"
+	// RuleFaultGPUCrash: lane liveness must be honoured after an
+	// injected lane crash — crash/recover transitions are consistent
+	// with the previous mask, at least one lane stays alive, nothing is
+	// placed on (or planned for, or retrain-charged to) a dead lane, and
+	// a liveness change is followed by a re-placement within the same
+	// period boundary (before any session plans against it).
+	RuleFaultGPUCrash = "fault-gpu-crash"
+	// RuleAdmitFeasibility: admission control under capacity loss must
+	// be exactly as aggressive as the infeasibility requires — a lane's
+	// admitted fractions stay within its capacity, predicted load is
+	// shed only when the SLO-feasibility gate failed (and conservation
+	// still closes: shed requests are recorded as missed), and
+	// retraining is suspended only for applications in the
+	// degraded-admission state.
+	RuleAdmitFeasibility = "admit-feasibility"
 )
 
 // Violation is one broken invariant with its structured context.
@@ -231,6 +247,19 @@ type Auditor struct {
 
 	apps  map[string]*tally
 	order []string
+
+	// Lane-liveness state (RuleFaultGPUCrash): the current alive mask
+	// reported by OnLaneEvents, and whether a liveness change still
+	// awaits its re-placement.
+	alive     uint64
+	haveAlive bool
+	needPlace bool
+
+	// Admission state (RuleAdmitFeasibility), rebuilt every period:
+	// applications allowed to shed (on an infeasible lane, or unplaced)
+	// and applications whose retraining is suspended.
+	shedOK    map[string]bool
+	suspended map[string]bool
 }
 
 // New returns an auditor. A nil report selects fail-fast mode: the
@@ -244,7 +273,12 @@ func New(report *Report, p Params) *Auditor {
 	if p.UtilSlack == 0 {
 		p.UtilSlack = 0.25
 	}
-	a := &Auditor{p: p, report: report, period: -1, apps: make(map[string]*tally)}
+	a := &Auditor{
+		p: p, report: report, period: -1,
+		apps:      make(map[string]*tally),
+		shedOK:    make(map[string]bool),
+		suspended: make(map[string]bool),
+	}
 	if report == nil {
 		a.report = &Report{}
 		a.failFast = true
@@ -308,11 +342,21 @@ func (a *Auditor) BeginPeriod(period int) error {
 	if err := a.closePeriod(); err != nil {
 		return err
 	}
+	if err := a.check(!a.needPlace, func() Violation {
+		return Violation{
+			Rule: RuleFaultGPUCrash, Period: period, Session: -1,
+			Detail: "previous period's lane-liveness change was never followed by a re-placement",
+		}
+	}); err != nil {
+		return err
+	}
 	a.period = period
 	a.started = true
 	a.haveRetrain = false
 	clear(a.apps)
 	a.order = a.order[:0]
+	clear(a.shedOK)
+	clear(a.suspended)
 	return nil
 }
 
@@ -458,6 +502,24 @@ func (a *Auditor) OnPeriodPlan(ctx *sched.PeriodContext, plan *sched.PeriodPlan)
 // §3.3 invariants.
 func (a *Auditor) OnSessionPlan(ctx *sched.SessionContext, plan *sched.SessionPlan) error {
 	sess := ctx.Session
+	if a.haveAlive {
+		if err := a.check(a.alive&(1<<uint(ctx.GPU)) != 0, func() Violation {
+			return Violation{
+				Rule: RuleFaultGPUCrash, Period: a.period, Session: sess,
+				Detail: fmt.Sprintf("session planned for dead lane %d (alive mask %#x)", ctx.GPU, a.alive),
+			}
+		}); err != nil {
+			return err
+		}
+		if err := a.check(!a.needPlace, func() Violation {
+			return Violation{
+				Rule: RuleFaultGPUCrash, Period: a.period, Session: sess,
+				Detail: "session planned before the lane-liveness change was re-placed",
+			}
+		}); err != nil {
+			return err
+		}
+	}
 	if err := a.check(plan.Session == sess, func() Violation {
 		return Violation{
 			Rule: RulePlanShape, Period: a.period, Session: sess,
@@ -551,10 +613,63 @@ func (a *Auditor) OnSessionPlan(ctx *sched.SessionContext, plan *sched.SessionPl
 	})
 }
 
+// OnLaneEvents observes a lane-liveness transition at a period
+// boundary: crashed lanes must have been alive, recovered lanes dead,
+// and at least one lane must survive. Any transition arms the
+// re-placement obligation that OnReplace discharges.
+func (a *Auditor) OnLaneEvents(period, nLanes int, alive uint64, crashed, recovered []int) error {
+	v := func(detail string) func() Violation {
+		return func() Violation {
+			return Violation{Rule: RuleFaultGPUCrash, Period: period, Session: -1, Detail: detail}
+		}
+	}
+	prev, had := a.alive, a.haveAlive
+	if !had {
+		prev = cluster.AllAlive(nLanes)
+	}
+	want := prev
+	for _, g := range recovered {
+		if err := a.check(prev&(1<<uint(g)) == 0,
+			v(fmt.Sprintf("lane %d recovered while alive (mask %#x)", g, prev))); err != nil {
+			return err
+		}
+		want |= 1 << uint(g)
+	}
+	for _, g := range crashed {
+		if err := a.check(want&(1<<uint(g)) != 0,
+			v(fmt.Sprintf("lane %d crashed while dead (mask %#x)", g, want))); err != nil {
+			return err
+		}
+		want &^= 1 << uint(g)
+	}
+	if err := a.check(alive == want,
+		v(fmt.Sprintf("alive mask %#x inconsistent with transitions from %#x (want %#x)", alive, prev, want))); err != nil {
+		return err
+	}
+	if err := a.check(alive&cluster.AllAlive(nLanes) != 0,
+		v(fmt.Sprintf("no lane alive in mask %#x", alive))); err != nil {
+		return err
+	}
+	if alive != prev || !had {
+		a.needPlace = true
+	}
+	a.alive, a.haveAlive = alive, true
+	return nil
+}
+
 // OnPlacement validates a multi-GPU placement: every expected
 // application on exactly one in-range GPU, and every GPU's placed
 // working-set bytes within its memory capacity.
 func (a *Auditor) OnPlacement(period int, pl *cluster.Placement, apps []string) error {
+	return a.OnReplace(period, pl, apps, nil)
+}
+
+// OnReplace is OnPlacement for failover re-packs: unplaced lists the
+// applications whose working set fits on no surviving lane (they enter
+// the degraded-admission state — allowed to shed, retraining
+// suspended). Every placed application must sit on an alive lane, and
+// the call discharges any pending re-placement obligation.
+func (a *Auditor) OnReplace(period int, pl *cluster.Placement, apps, unplaced []string) error {
 	v := func(app, detail string) func() Violation {
 		return func() Violation {
 			return Violation{Rule: RulePlacement, Period: period, App: app, Detail: detail}
@@ -567,11 +682,34 @@ func (a *Auditor) OnPlacement(period int, pl *cluster.Placement, apps []string) 
 			return err
 		}
 	}
-	if err := a.check(pl.Len() == len(apps),
-		v("", fmt.Sprintf("%d apps placed, %d expected", pl.Len(), len(apps)))); err != nil {
+	if err := a.check(pl.Len()+len(unplaced) == len(apps),
+		v("", fmt.Sprintf("%d apps placed + %d unplaced, %d expected", pl.Len(), len(unplaced), len(apps)))); err != nil {
 		return err
 	}
+	if err := a.check(len(unplaced) == 0 || pl.Topology().NAlive() < ngpus, func() Violation {
+		return Violation{
+			Rule: RuleFaultGPUCrash, Period: period, Session: -1,
+			Detail: fmt.Sprintf("%d apps unplaced with every one of %d lanes alive", len(unplaced), ngpus),
+		}
+	}); err != nil {
+		return err
+	}
+	skip := make(map[string]bool, len(unplaced))
+	for _, name := range unplaced {
+		skip[name] = true
+		a.shedOK[name] = true
+		a.suspended[name] = true
+		if _, placed := pl.GPU(name); placed {
+			if err := a.check(false, v(name, "app both placed and unplaced")); err != nil {
+				return err
+			}
+		}
+	}
+	alive := pl.Topology().AliveMask()
 	for _, name := range apps {
+		if skip[name] {
+			continue
+		}
 		g, ok := pl.GPU(name)
 		if err := a.check(ok, v(name, "app not placed")); err != nil {
 			return err
@@ -583,7 +721,16 @@ func (a *Auditor) OnPlacement(period int, pl *cluster.Placement, apps []string) 
 			v(name, fmt.Sprintf("placed on GPU %d of %d", g, ngpus))); err != nil {
 			return err
 		}
+		if err := a.check(alive&(1<<uint(g)) != 0, func() Violation {
+			return Violation{
+				Rule: RuleFaultGPUCrash, Period: period, App: name,
+				Detail: fmt.Sprintf("placed on dead lane %d (alive mask %#x)", g, alive),
+			}
+		}); err != nil {
+			return err
+		}
 	}
+	a.needPlace = false
 	capacity := pl.Topology().PerGPUBytes
 	if a.p.PerGPUBytes > 0 {
 		capacity = a.p.PerGPUBytes
@@ -603,6 +750,111 @@ func (a *Auditor) OnPlacement(period int, pl *cluster.Placement, apps []string) 
 		}
 	}
 	return nil
+}
+
+// AdmitLane pairs one lane with its admission outcome for OnAdmission.
+type AdmitLane struct {
+	Lane    int
+	Outcome *admit.Outcome
+}
+
+// OnAdmission observes the period's SLO-feasibility gating: per lane,
+// the admitted fractions stay within the lane capacity, shedding occurs
+// only when the gate failed, and per-app request accounting is
+// consistent. It registers which applications may shed requests (those
+// on infeasible lanes plus the unplaced ones) and which must have
+// retraining suspended this period.
+func (a *Auditor) OnAdmission(period int, laneCapacity float64, lanes []AdmitLane, unplaced []string) error {
+	v := func(lane int, app, detail string) func() Violation {
+		return func() Violation {
+			return Violation{
+				Rule: RuleAdmitFeasibility, Period: period, Session: -1, App: app,
+				Detail: fmt.Sprintf("lane %d: %s", lane, detail),
+			}
+		}
+	}
+	for _, al := range lanes {
+		out := al.Outcome
+		if a.haveAlive {
+			if err := a.check(a.alive&(1<<uint(al.Lane)) != 0,
+				v(al.Lane, "", fmt.Sprintf("admission evaluated for dead lane (alive mask %#x)", a.alive))); err != nil {
+				return err
+			}
+		}
+		slack := 1e-9
+		if laneCapacity > 1 {
+			slack *= laneCapacity
+		}
+		if err := a.check(out.TotalFraction() <= laneCapacity+slack,
+			v(al.Lane, "", fmt.Sprintf("admitted fractions sum to %g, lane capacity %g",
+				out.TotalFraction(), laneCapacity))); err != nil {
+			return err
+		}
+		for i := range out.Decisions {
+			d := &out.Decisions[i]
+			if err := a.check(d.Admitted >= 0 && d.Shed >= 0 && d.Admitted+d.Shed == d.Requests,
+				v(al.Lane, d.Name, fmt.Sprintf("admitted %d + shed %d != predicted %d",
+					d.Admitted, d.Shed, d.Requests))); err != nil {
+				return err
+			}
+			if err := a.check(d.Shed == 0 || !out.Feasible,
+				v(al.Lane, d.Name, fmt.Sprintf("%d requests shed although the feasibility gate passed", d.Shed))); err != nil {
+				return err
+			}
+			if !out.Feasible {
+				a.shedOK[d.Name] = true
+				a.suspended[d.Name] = true
+			}
+		}
+	}
+	for _, name := range unplaced {
+		a.shedOK[name] = true
+		a.suspended[name] = true
+	}
+	return nil
+}
+
+// OnShed observes requests shed in one session. Shedding is legitimate
+// only for applications in the period's degraded-admission state (the
+// caller still records shed requests as missed, so conservation
+// closes — OnServed accounts them).
+func (a *Auditor) OnShed(sess int, app string, n int) error {
+	if err := a.check(n > 0, func() Violation {
+		return Violation{
+			Rule: RuleAdmitFeasibility, Period: a.period, Session: sess, App: app,
+			Detail: fmt.Sprintf("shed of %d requests", n),
+		}
+	}); err != nil {
+		return err
+	}
+	return a.check(a.shedOK[app], func() Violation {
+		return Violation{
+			Rule: RuleAdmitFeasibility, Period: a.period, Session: sess, App: app,
+			Detail: fmt.Sprintf("%d requests shed outside the degraded-admission state", n),
+		}
+	})
+}
+
+// OnRetrainCharge observes GPU busy time charged for one whole-pool
+// retraining attempt: the charged lane must be alive and the
+// application's retraining must not be suspended.
+func (a *Auditor) OnRetrainCharge(app string, lane int) error {
+	if a.haveAlive {
+		if err := a.check(a.alive&(1<<uint(lane)) != 0, func() Violation {
+			return Violation{
+				Rule: RuleFaultGPUCrash, Period: a.period, Session: -1, App: app,
+				Detail: fmt.Sprintf("retraining charged to dead lane %d (alive mask %#x)", lane, a.alive),
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return a.check(!a.suspended[app], func() Violation {
+		return Violation{
+			Rule: RuleAdmitFeasibility, Period: a.period, Session: -1, App: app,
+			Detail: "retraining ran for an application whose retraining is suspended",
+		}
+	})
 }
 
 // auditJob validates one active job plan: profiled batches, inference

@@ -4,7 +4,11 @@
 // clamping them (or worse, passing them through to the engine).
 package cliflags
 
-import "fmt"
+import (
+	"fmt"
+
+	"adainf/internal/faults"
+)
 
 // Workers validates a worker-count flag whose zero value means "one
 // per CPU" (-plan-workers, -profile-workers, -parallel, -workers).
@@ -33,6 +37,24 @@ func GPUAmount(name string, v float64) error {
 		return fmt.Errorf("%s must be > 0, got %g", name, v)
 	}
 	return nil
+}
+
+// Faults validates and parses a fault-specification flag (-faults on
+// adainf, repro, and bench) at flag-check time, so a typo in a fault
+// kind or an out-of-range probability is rejected with the other flag
+// errors instead of after profiling has already run. An empty spec
+// disables injection: nil config, no error. The seed (from the
+// command's -fault-seed flag) is stamped onto the parsed config.
+func Faults(name, spec string, seed int64) (*faults.Config, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	fc, err := faults.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	fc.Seed = seed
+	return &fc, nil
 }
 
 // First returns the first non-nil error, letting a command validate

@@ -61,6 +61,34 @@ func TestErrorNamesFlag(t *testing.T) {
 	}
 }
 
+// TestFaults pins the -faults flag contract: an empty spec quietly
+// disables injection, a valid spec parses with the fault seed stamped
+// on, and a bad spec — unknown kind or out-of-range probability, lane
+// kinds included — fails at flag-check time with the flag named.
+func TestFaults(t *testing.T) {
+	cfg, err := Faults("-faults", "", 7)
+	if cfg != nil || err != nil {
+		t.Fatalf("empty spec: (%v, %v), want (nil, nil)", cfg, err)
+	}
+	cfg, err = Faults("-faults", "gpu-crash=0.5,gpu-crash-max=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.GPUCrash != 0.5 || cfg.GPUCrashMax != 2 {
+		t.Errorf("parsed config %+v lost the spec or the seed", cfg)
+	}
+	for _, spec := range []string{"gpu-crash=1.5", "gpu-smash=1", "gpu-crash-after=-1"} {
+		cfg, err = Faults("-faults", spec, 7)
+		if err == nil {
+			t.Errorf("spec %q accepted: %+v", spec, cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-faults") {
+			t.Errorf("error %q does not name the flag", err)
+		}
+	}
+}
+
 // TestFirst returns the leftmost failure and nil when all pass.
 func TestFirst(t *testing.T) {
 	if err := First(nil, nil, nil); err != nil {

@@ -28,6 +28,44 @@ type Topology struct {
 	NGPUs int
 	// PerGPUBytes is each GPU's memory capacity in bytes (> 0).
 	PerGPUBytes int64
+	// Alive is the lane-liveness bitmask (bit g set ⇒ lane g healthy).
+	// The zero value means every lane is alive, so topologies built
+	// before lane faults existed keep their meaning (and their digests).
+	Alive uint64
+}
+
+// AllAlive returns the liveness mask with every one of n lanes alive.
+func AllAlive(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// AliveMask returns the topology's effective liveness mask, normalized
+// to its lane count (the zero value reads as all-alive).
+func (t Topology) AliveMask() uint64 {
+	if t.Alive == 0 {
+		return AllAlive(t.NGPUs)
+	}
+	return t.Alive & AllAlive(t.NGPUs)
+}
+
+// LaneAlive reports whether lane g is healthy.
+func (t Topology) LaneAlive(g int) bool {
+	return g >= 0 && g < t.NGPUs && t.AliveMask()&(1<<uint(g)) != 0
+}
+
+// NAlive counts the healthy lanes.
+func (t Topology) NAlive() int {
+	n := 0
+	for m := t.AliveMask(); m != 0; m &= m - 1 {
+		n++
+	}
+	return n
 }
 
 // Validate checks the topology's well-formedness.
@@ -37,6 +75,9 @@ func (t Topology) Validate() error {
 	}
 	if t.PerGPUBytes <= 0 {
 		return fmt.Errorf("cluster: %d bytes per GPU", t.PerGPUBytes)
+	}
+	if t.AliveMask() == 0 {
+		return fmt.Errorf("cluster: no alive lane in mask %#x over %d GPUs", t.Alive, t.NGPUs)
 	}
 	return nil
 }
@@ -67,15 +108,36 @@ type Placement struct {
 	digest uint64
 }
 
-// Place bin-packs the applications onto the topology's GPUs:
+// Place bin-packs the applications onto the topology's alive GPUs:
 // first-fit-decreasing over predicted load (working-set bytes, then
 // name, break ties), assigning each application to the least-loaded
-// GPU that still has the memory to hold its working set (ties to the
-// lowest GPU index). The result is deterministic — independent of the
-// input order — and errors if any application fits on no GPU.
+// alive GPU that still has the memory to hold its working set (ties to
+// the lowest GPU index). The result is deterministic — independent of
+// the input order — and errors if any application fits on no GPU.
 func Place(topo Topology, apps []AppLoad) (*Placement, error) {
+	p, _, err := pack(topo, apps, false)
+	return p, err
+}
+
+// Replace is the failover re-pack after a lane-liveness change: the
+// same first-fit-decreasing packing as Place, restricted to the lanes
+// alive in the mask, but an application whose working set fits on no
+// surviving lane is returned in the second value (assignment order)
+// instead of failing the packing — admission control decides its fate.
+// The placement's digest mixes the alive mask whenever some lane is
+// dead, so the fast-forward memo can never confuse a degraded placement
+// with the healthy one it shadows.
+func Replace(topo Topology, alive uint64, apps []AppLoad) (*Placement, []AppLoad, error) {
+	topo.Alive = alive
+	return pack(topo, apps, true)
+}
+
+// pack is the shared first-fit-decreasing core of Place and Replace.
+// With partial set, applications that fit nowhere are collected and
+// returned instead of erroring.
+func pack(topo Topology, apps []AppLoad, partial bool) (*Placement, []AppLoad, error) {
 	if err := topo.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	order := make([]AppLoad, len(apps))
 	copy(order, apps)
@@ -91,23 +153,27 @@ func Place(topo Topology, apps []AppLoad) (*Placement, error) {
 	})
 	p := &Placement{
 		topo:  topo,
-		apps:  order,
-		gpu:   make([]int, len(order)),
+		gpu:   make([]int, 0, len(order)),
 		index: make(map[string]int, len(order)),
 		bytes: make([]int64, topo.NGPUs),
 		load:  make([]float64, topo.NGPUs),
 	}
+	var unplaced []AppLoad
+	alive := topo.AliveMask()
 	n := len(order)
 	for i := range order {
-		a := &order[i]
+		a := order[i]
 		if _, dup := p.index[a.Name]; dup {
-			return nil, fmt.Errorf("cluster: duplicate app %q", a.Name)
+			return nil, nil, fmt.Errorf("cluster: duplicate app %q", a.Name)
 		}
 		if a.WorkingSetBytes < 0 {
-			return nil, fmt.Errorf("cluster: app %q working set %d bytes", a.Name, a.WorkingSetBytes)
+			return nil, nil, fmt.Errorf("cluster: app %q working set %d bytes", a.Name, a.WorkingSetBytes)
 		}
 		best := -1
 		for g := 0; g < topo.NGPUs; g++ {
+			if alive&(1<<uint(g)) == 0 {
+				continue
+			}
 			if p.bytes[g]+a.WorkingSetBytes > topo.PerGPUBytes {
 				continue
 			}
@@ -116,18 +182,27 @@ func Place(topo Topology, apps []AppLoad) (*Placement, error) {
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("cluster: app %q (%d bytes) fits on no GPU (%d × %d bytes)",
+			if partial {
+				unplaced = append(unplaced, a)
+				continue
+			}
+			if a.WorkingSetBytes > topo.PerGPUBytes {
+				return nil, nil, fmt.Errorf("cluster: app %q working set %d bytes exceeds the %d-byte GPU capacity by %d bytes — it can never be placed",
+					a.Name, a.WorkingSetBytes, topo.PerGPUBytes, a.WorkingSetBytes-topo.PerGPUBytes)
+			}
+			return nil, nil, fmt.Errorf("cluster: app %q (%d bytes) fits on no GPU (%d × %d bytes)",
 				a.Name, a.WorkingSetBytes, topo.NGPUs, topo.PerGPUBytes)
 		}
-		p.gpu[i] = best
-		p.index[a.Name] = i
+		p.index[a.Name] = len(p.apps)
+		p.apps = append(p.apps, a)
+		p.gpu = append(p.gpu, best)
 		p.bytes[best] += a.WorkingSetBytes
 		// Heavier load rank → heavier weight; the exact scale is
 		// irrelevant, only the deterministic balancing it induces.
 		p.load[best] += float64(n - a.LoadRank)
 	}
 	p.digest = p.computeDigest()
-	return p, nil
+	return p, unplaced, nil
 }
 
 // Topology returns the placement's topology.
@@ -196,6 +271,11 @@ func (p *Placement) computeDigest() uint64 {
 	}
 	mix(uint64(p.topo.NGPUs))
 	mix(uint64(p.topo.PerGPUBytes))
+	// The liveness mask joins the digest only when a lane is dead, so
+	// every digest recorded before lane faults existed is preserved.
+	if alive := p.topo.AliveMask(); alive != AllAlive(p.topo.NGPUs) {
+		mix(alive)
+	}
 	for i := range p.apps {
 		a := &p.apps[i]
 		mixStr(a.Name)

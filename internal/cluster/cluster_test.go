@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -192,6 +193,74 @@ func TestPlaceErrors(t *testing.T) {
 	}
 	if _, err := Place(topo, []AppLoad{{Name: "a", WorkingSetBytes: 2000}}); err == nil {
 		t.Error("oversized app accepted")
+	}
+}
+
+// TestPlaceOversizedAppError pins the diagnostic contract for an
+// application that can never be placed: the error names the app and
+// quantifies the byte deficit against the per-GPU capacity, so a
+// misconfigured catalog is debuggable from the message alone.
+func TestPlaceOversizedAppError(t *testing.T) {
+	topo := Topology{NGPUs: 2, PerGPUBytes: 1000}
+	_, err := Place(topo, []AppLoad{{Name: "video-wall", WorkingSetBytes: 1300}})
+	if err == nil {
+		t.Fatal("oversized app placed")
+	}
+	for _, want := range []string{`"video-wall"`, "1300", "1000", "300", "never be placed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// An app that fits a GPU but not the packed catalog keeps the
+	// distinct no-room message: no deficit, since a lane could hold it.
+	apps := []AppLoad{
+		{Name: "a", WorkingSetBytes: 900, LoadRank: 0},
+		{Name: "b", WorkingSetBytes: 900, LoadRank: 1},
+		{Name: "c", WorkingSetBytes: 900, LoadRank: 2},
+	}
+	_, err = Place(topo, apps)
+	if err == nil || strings.Contains(err.Error(), "never be placed") {
+		t.Errorf("overfull catalog error = %v, want the fits-on-no-GPU message", err)
+	}
+}
+
+// TestReplaceFailover pins the Replace contract: apps displaced by a
+// dead lane re-pack onto survivors, apps that fit nowhere come back
+// unplaced instead of failing, and the degraded digest differs from
+// the healthy one.
+func TestReplaceFailover(t *testing.T) {
+	topo := Topology{NGPUs: 2, PerGPUBytes: 1000}
+	apps := []AppLoad{
+		{Name: "a", WorkingSetBytes: 600, LoadRank: 0},
+		{Name: "b", WorkingSetBytes: 600, LoadRank: 1},
+	}
+	full, err := Place(topo, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, unplaced, err := Replace(topo, 0b01, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || len(unplaced) != 1 {
+		t.Fatalf("placed %d, unplaced %d, want 1 and 1", p.Len(), len(unplaced))
+	}
+	if g, ok := p.GPU(p.Apps()[0].Name); !ok || g != 0 {
+		t.Fatalf("survivor app on GPU %d (ok=%v), want 0", g, ok)
+	}
+	if unplaced[0].Name != "b" {
+		t.Errorf("unplaced app %q, want the lighter-ranked b", unplaced[0].Name)
+	}
+	if p.Digest() == full.Digest() {
+		t.Error("degraded placement digest equals the healthy one")
+	}
+	// All-alive Replace is byte-identical to Place (legacy digests).
+	p2, unplaced2, err := Replace(topo, AllAlive(2), apps)
+	if err != nil || len(unplaced2) != 0 {
+		t.Fatalf("all-alive Replace: %v, unplaced %v", err, unplaced2)
+	}
+	if p2.Digest() != full.Digest() {
+		t.Error("all-alive Replace digest differs from Place")
 	}
 }
 

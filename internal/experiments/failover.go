@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adainf/internal/app"
+	"adainf/internal/faults"
+	"adainf/internal/simtime"
+)
+
+// Failover is a reproduction-specific artifact with no paper analogue:
+// it measures how much goodput each method retains when a GPU lane
+// crashes partway through the run and the server must fail over — the
+// surviving lanes absorb the displaced applications and the admission
+// gate sheds what no longer fits. The catalog runs on 2 and 4 lanes
+// across AdaInf, Ekya, and Scrooge under three paired scenarios: a
+// healthy run, a crash of half the lanes a quarter of the way in, and
+// the same crash halfway in (certain crashes via the deterministic
+// injector, so every method sees the identical failure schedule).
+// Because the workload seed is fault-independent, "goodput retained"
+// — the SLO-met request rate relative to the method's own healthy run
+// on the same lane count — isolates the cost of the crash alone.
+//
+// Options.Faults donates only the fault seed; the crash schedules are
+// fixed by the artifact.
+func Failover(o Options) (*Result, error) {
+	apps := app.Catalog()
+	methods := []method{adaInf(), ekya(), scrooge(false)}
+	lanes := []int{2, 4}
+
+	var seed int64 = 1
+	if o.Faults != nil && o.Faults.Seed != 0 {
+		seed = o.Faults.Seed
+	}
+	// Crash boundaries scale with the horizon: a "25%" crash is the
+	// period boundary a quarter of the way through the run.
+	oo := o
+	oo.fill()
+	nPeriods := int(oo.Horizon / simtime.DefaultPeriod)
+	if nPeriods < 2 {
+		nPeriods = 2
+	}
+	crashAt := func(frac float64) int {
+		p := int(frac * float64(nPeriods))
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+	scenarios := []struct {
+		name string
+		cfg  *faults.Config
+	}{
+		{"healthy", nil},
+		{"crash-25%", &faults.Config{Seed: seed, GPUCrash: 1, GPUCrashMax: 2, GPUCrashAfter: crashAt(0.25)}},
+		{"crash-50%", &faults.Config{Seed: seed, GPUCrash: 1, GPUCrashMax: 2, GPUCrashAfter: crashAt(0.50)}},
+	}
+
+	res := &Result{
+		ID:    "failover",
+		Title: "Goodput retained under GPU lane failure",
+	}
+	tb := Table{
+		Title: "per-method serving quality under a certain lane crash",
+		Header: []string{"lanes", "scenario", "method", "accuracy", "finish rate",
+			"goodput retained", "crashes", "re-placements", "shed"},
+	}
+	// healthy[li][mi] is the baseline goodput of the paired fault-free
+	// run; retention divides the crashed runs by it.
+	healthy := make([][]float64, len(lanes))
+	retained := make(map[string][]float64) // "label@lanes" -> per-scenario retention
+	for si, sc := range scenarios {
+		so := o
+		so.Faults = sc.cfg
+		var arms []arm
+		for _, n := range lanes {
+			for _, m := range methods {
+				arms = append(arms, arm{m: m, apps: apps, gpus: float64(n), ngpus: n})
+			}
+		}
+		rs, err := runArms(so, "failover-"+sc.name, arms)
+		if err != nil {
+			return nil, fmt.Errorf("failover scenario %s: %w", sc.name, err)
+		}
+		for li, n := range lanes {
+			if si == 0 {
+				healthy[li] = make([]float64, len(methods))
+			}
+			for mi, m := range methods {
+				r := rs[li*len(methods)+mi]
+				goodput := r.MeanFinishRate * float64(r.Requests)
+				if si == 0 {
+					healthy[li][mi] = goodput
+				}
+				ratio := 0.0
+				if healthy[li][mi] > 0 {
+					ratio = goodput / healthy[li][mi]
+				}
+				key := fmt.Sprintf("%s@%d", m.label, n)
+				retained[key] = append(retained[key], ratio)
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprintf("%d", n), sc.name, m.label,
+					fmt.Sprintf("%.3f", r.MeanAccuracy),
+					fmt.Sprintf("%.3f", r.MeanFinishRate),
+					fmt.Sprintf("%.2f", ratio),
+					fmt.Sprintf("%d", r.FaultGPUCrashes),
+					fmt.Sprintf("%d", r.FaultReplacements),
+					fmt.Sprintf("%d", r.FaultShedRequests),
+				})
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	xs := make([]float64, len(scenarios))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for _, n := range lanes {
+		for _, m := range methods {
+			key := fmt.Sprintf("%s@%d", m.label, n)
+			res.Series = append(res.Series, Series{
+				Label: fmt.Sprintf("%s goodput retained (%d lanes)", m.label, n),
+				X:     xs, Y: retained[key],
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("fault seed %d; crash scenarios kill half the lanes for good at period %d (25%%) or %d (50%%) of %d",
+			seed, crashAt(0.25), crashAt(0.50), nPeriods),
+		"goodput retained divides each run's SLO-met request rate by the method's own healthy run on the same lane count (paired seeds)",
+		"displaced apps are re-packed onto surviving lanes; what no longer fits is shed by the SLO-feasibility admission gate")
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailoverArtifact runs the failover sweep on an overloaded quick
+// workload under the fail-fast auditor and pins its acceptance bar:
+// when half the lanes die, the SLO-feasibility gate engages (every
+// crashed run sheds), a crash never drops goodput below the healthy
+// run (shedding and degrading recover more SLO-met requests than the
+// lost lanes cost), and under the severe 2-lane loss — one survivor
+// absorbing the whole catalog — AdaInf retains at least as much
+// goodput as Ekya and Scrooge on the identical crash schedule.
+func TestFailoverArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs eighteen quick serving arms")
+	}
+	// 4 periods, so the 25% and 50% crash boundaries differ (1 and 2);
+	// the rate overloads a surviving lane enough to fail feasibility.
+	o := Options{Quick: true, Seed: 3, Horizon: 200 * time.Second, Rate: 1100, Audit: true}
+	res, err := Failover(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 18 {
+		t.Fatalf("unexpected table shape: %+v", res.Tables)
+	}
+	retained := map[string][]float64{}
+	for _, s := range res.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("%s: %d scenario points, want 3", s.Label, len(s.Y))
+		}
+		if s.Y[0] != 1 {
+			t.Errorf("%s: healthy baseline ratio = %v, want 1", s.Label, s.Y[0])
+		}
+		for sc := 1; sc < 3; sc++ {
+			if s.Y[sc] < 1 {
+				t.Errorf("%s scenario %d: retained %.3f < 1 (admission lost goodput)",
+					s.Label, sc, s.Y[sc])
+			}
+		}
+		name, lanes, ok := strings.Cut(s.Label, " goodput retained ")
+		if !ok {
+			t.Fatalf("unexpected series label %q", s.Label)
+		}
+		retained[name+lanes] = s.Y
+	}
+	ada := retained["AdaInf(2 lanes)"]
+	for _, rival := range []string{"Ekya", "Scrooge"} {
+		rv := retained[rival+"(2 lanes)"]
+		for sc := 1; sc < 3; sc++ {
+			if ada[sc] < rv[sc] {
+				t.Errorf("2 lanes scenario %d: AdaInf retained %.3f < %s %.3f",
+					sc, ada[sc], rival, rv[sc])
+			}
+		}
+	}
+	// Crash scenarios genuinely crashed and shed: the crash,
+	// re-placement, and shed columns are non-zero on every crashed row
+	// and zero on every healthy one.
+	for _, row := range res.Tables[0].Rows {
+		if row[1] == "healthy" {
+			if row[6] != "0" || row[7] != "0" || row[8] != "0" {
+				t.Errorf("healthy row reports fault activity: %v", row)
+			}
+			continue
+		}
+		if row[6] == "0" || row[7] == "0" || row[8] == "0" {
+			t.Errorf("crashed row fired no crash, re-placement, or shed: %v", row)
+		}
+	}
+}

@@ -16,7 +16,11 @@
 //   - workload: arrival bursts multiply a contiguous window of sessions'
 //     arrivals before the predictor observes them, and drift spikes
 //     shock the live label/feature distribution right after a period
-//     boundary so the freshly collected pool lags reality.
+//     boundary so the freshly collected pool lags reality;
+//   - GPU lanes: on a sharded server a whole lane can crash at a period
+//     boundary (gpu-crash) and later return (gpu-recover); the runtime
+//     re-packs the surviving lanes and admission-controls the load that
+//     no longer fits (see internal/cluster and internal/admit).
 //
 // Every decision is a pure hash of (seed, fault kind, stable
 // coordinates such as period/session/app/node) — no shared RNG stream
@@ -76,12 +80,34 @@ type Config struct {
 	// (0,1] is the mixing weight toward the shocked class (default 0.5).
 	DriftSpike     float64
 	SpikeIntensity float64
+
+	// GPUCrash is the per-(period, lane) probability that a healthy GPU
+	// lane dies at the period boundary. The last surviving lane never
+	// crashes: the server degrades, it does not vanish.
+	GPUCrash float64
+	// GPURecover is the per-(period, lane) probability that a dead lane
+	// returns at the period boundary.
+	GPURecover float64
+	// GPUCrashAfter is the first period at which crashes may fire
+	// (default 1, so the healthy placement exists before the first
+	// failure).
+	GPUCrashAfter int
+	// GPUCrashMax caps the number of simultaneously dead lanes
+	// (0 = no cap beyond keeping one lane alive).
+	GPUCrashMax int
 }
 
 // Enabled reports whether any fault can fire.
 func (c *Config) Enabled() bool {
 	return c != nil && (c.RetrainFail > 0 || c.RetrainSlow > 0 ||
-		c.MemFail > 0 || c.Burst > 0 || c.DriftSpike > 0)
+		c.MemFail > 0 || c.Burst > 0 || c.DriftSpike > 0 || c.GPUCrash > 0)
+}
+
+// GPUFaults reports whether lane crashes can fire. Fault-free and
+// lane-fault-free runs use this to keep their fast-forward keys (and so
+// their goldens) byte-identical to builds without lane faults.
+func (c *Config) GPUFaults() bool {
+	return c != nil && c.GPUCrash > 0
 }
 
 // withDefaults returns c with unset shape parameters (factors, bounds,
@@ -106,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.SpikeIntensity == 0 {
 		c.SpikeIntensity = 0.5
 	}
+	if c.GPUCrash > 0 && c.GPUCrashAfter == 0 {
+		c.GPUCrashAfter = 1
+	}
 	return c
 }
 
@@ -126,6 +155,8 @@ func (c *Config) Validate() error {
 		{"mem-fail", c.MemFail},
 		{"burst", c.Burst},
 		{"drift-spike", c.DriftSpike},
+		{"gpu-crash", c.GPUCrash},
+		{"gpu-recover", c.GPURecover},
 	} {
 		if err := check(pc.name, pc.p); err != nil {
 			return err
@@ -149,6 +180,12 @@ func (c *Config) Validate() error {
 	if c.SpikeIntensity < 0 || c.SpikeIntensity > 1 {
 		return fmt.Errorf("faults: spike-intensity %g out of [0,1]", c.SpikeIntensity)
 	}
+	if c.GPUCrashAfter < 0 {
+		return fmt.Errorf("faults: gpu-crash-after %d negative", c.GPUCrashAfter)
+	}
+	if c.GPUCrashMax < 0 {
+		return fmt.Errorf("faults: gpu-crash-max %d negative", c.GPUCrashMax)
+	}
 	return nil
 }
 
@@ -170,7 +207,8 @@ func Default() Config {
 // The empty spec disables injection; the spec "default" is the
 // Default schedule. Keys: retrain-fail, retrain-slow, slow-factor,
 // retries, backoff, mem-fail, burst, burst-factor, burst-sessions,
-// drift-spike, spike-intensity.
+// drift-spike, spike-intensity, gpu-crash, gpu-recover,
+// gpu-crash-after, gpu-crash-max.
 func Parse(spec string) (Config, error) {
 	var c Config
 	spec = strings.TrimSpace(spec)
@@ -216,6 +254,14 @@ func Parse(spec string) (Config, error) {
 			c.DriftSpike, err = parseProb(val)
 		case "spike-intensity":
 			c.SpikeIntensity, err = strconv.ParseFloat(val, 64)
+		case "gpu-crash":
+			c.GPUCrash, err = parseProb(val)
+		case "gpu-recover":
+			c.GPURecover, err = parseProb(val)
+		case "gpu-crash-after":
+			c.GPUCrashAfter, err = strconv.Atoi(val)
+		case "gpu-crash-max":
+			c.GPUCrashMax, err = strconv.Atoi(val)
 		default:
 			return Config{}, fmt.Errorf("faults: unknown key %q", key)
 		}
@@ -267,6 +313,10 @@ func (c Config) String() string {
 	addI("burst-sessions", c.BurstSessions)
 	addF("drift-spike", c.DriftSpike)
 	addF("spike-intensity", c.SpikeIntensity)
+	addF("gpu-crash", c.GPUCrash)
+	addF("gpu-recover", c.GPURecover)
+	addI("gpu-crash-after", c.GPUCrashAfter)
+	addI("gpu-crash-max", c.GPUCrashMax)
 	sort.Strings(parts)
 	return strings.Join(parts, ",")
 }
@@ -483,6 +533,62 @@ func (in *Injector) DriftSpike(period int, app string) (seed int64, intensity fl
 		return 0, 0, false
 	}
 	return int64(in.hash("drift-spike-seed").str(app).i64(int64(period)).u64() >> 1), in.cfg.SpikeIntensity, true
+}
+
+// laneCrash rolls whether the (healthy) lane dies at the boundary of
+// the period.
+func (in *Injector) laneCrash(period, lane int) bool {
+	return in.cfg.GPUCrash > 0 && period >= in.cfg.GPUCrashAfter &&
+		in.hash("gpu-crash").i64(int64(period)).i64(int64(lane)).u01() < in.cfg.GPUCrash
+}
+
+// laneRecover rolls whether the (dead) lane returns at the boundary of
+// the period.
+func (in *Injector) laneRecover(period, lane int) bool {
+	return in.cfg.GPURecover > 0 &&
+		in.hash("gpu-recover").i64(int64(period)).i64(int64(lane)).u01() < in.cfg.GPURecover
+}
+
+// LaneEvents evolves the lane-alive bitmask at the boundary of the
+// period: dead lanes roll recovery first, then healthy lanes roll
+// crashes, both in lane order. A crash never kills the last alive lane
+// and never exceeds GPUCrashMax simultaneously dead lanes. The returned
+// crashed/recovered slices list the lanes that changed state this
+// boundary, in lane order (nil when nothing changed). Like every other
+// decision the evolution is a pure function of (seed, period, lane), so
+// replaying the boundaries in order reproduces the mask bit for bit.
+func (in *Injector) LaneEvents(period, nLanes int, alive uint64) (uint64, []int, []int) {
+	if in.cfg.GPUCrash <= 0 || nLanes <= 1 {
+		return alive, nil, nil
+	}
+	var crashed, recovered []int
+	for g := 0; g < nLanes; g++ {
+		if alive&(1<<uint(g)) == 0 && in.laneRecover(period, g) {
+			alive |= 1 << uint(g)
+			recovered = append(recovered, g)
+		}
+	}
+	nAlive := 0
+	for g := 0; g < nLanes; g++ {
+		if alive&(1<<uint(g)) != 0 {
+			nAlive++
+		}
+	}
+	maxDead := nLanes - 1
+	if in.cfg.GPUCrashMax > 0 && in.cfg.GPUCrashMax < maxDead {
+		maxDead = in.cfg.GPUCrashMax
+	}
+	for g := 0; g < nLanes; g++ {
+		if nAlive <= 1 || nLanes-nAlive >= maxDead {
+			break
+		}
+		if alive&(1<<uint(g)) != 0 && in.laneCrash(period, g) {
+			alive &^= 1 << uint(g)
+			crashed = append(crashed, g)
+			nAlive--
+		}
+	}
+	return alive, crashed, recovered
 }
 
 // SessionWord packs the per-session fault decisions for one app into a

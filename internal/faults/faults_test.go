@@ -37,6 +37,8 @@ func TestParseStringRoundTrip(t *testing.T) {
 		{MemFail: 0.08},
 		{Burst: 0.5, BurstFactor: 5, BurstSessions: 50},
 		{DriftSpike: 0.4, SpikeIntensity: 0.9},
+		{GPUCrash: 0.5, GPURecover: 0.25, GPUCrashAfter: 3, GPUCrashMax: 2},
+		{GPUCrash: 1},
 	}
 	for _, c := range cases {
 		got, err := Parse(c.String())
@@ -68,6 +70,11 @@ func TestParseErrors(t *testing.T) {
 		"backoff=xyz",         // unparsable duration
 		"burst-factor=-3",     // negative factor
 		"spike-intensity=1.5", // out of [0,1]
+		"gpu-crash=1.5",       // probability out of range
+		"gpu-recover=-0.1",    // negative probability
+		"gpu-crash-after=-1",  // negative period
+		"gpu-crash-after=x",   // unparsable int
+		"gpu-crash-max=-2",    // negative cap
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", spec)
@@ -302,6 +309,69 @@ func TestSeedIndependence(t *testing.T) {
 	}
 	if same {
 		t.Error("seeds 1 and 2 agree on 200 session words; seed may be ignored")
+	}
+}
+
+// TestLaneEvents asserts the lane-liveness evolution's contract:
+// boundary replays are bit-identical, a crash never kills the last
+// alive lane, the dead count never exceeds gpu-crash-max, events fire
+// in lane order, single-lane servers never roll, and with recovery at
+// certainty a dead lane always comes back before the crash pass.
+func TestLaneEvents(t *testing.T) {
+	cfg := Config{Seed: 5, GPUCrash: 1}
+	in := New(&cfg)
+	if in.Config().GPUCrashAfter != 1 {
+		t.Fatalf("gpu-crash-after defaulted to %d, want 1", in.Config().GPUCrashAfter)
+	}
+	// Certain crashes with no cap: everything but one lane dies at the
+	// first eligible boundary, and the survivor holds forever.
+	alive, crashed, recovered := in.LaneEvents(1, 4, 0b1111)
+	if len(recovered) != 0 || len(crashed) != 3 || alive == 0 {
+		t.Fatalf("period 1: alive=%b crashed=%v recovered=%v", alive, crashed, recovered)
+	}
+	for i := 1; i < len(crashed); i++ {
+		if crashed[i] <= crashed[i-1] {
+			t.Fatalf("crashes out of lane order: %v", crashed)
+		}
+	}
+	a2, c2, r2 := in.LaneEvents(1, 4, 0b1111)
+	if a2 != alive || len(c2) != len(crashed) || r2 != nil {
+		t.Fatal("boundary replay diverged")
+	}
+	if a3, c3, _ := in.LaneEvents(2, 4, alive); a3 != alive || c3 != nil {
+		t.Fatalf("last alive lane crashed: alive=%b crashed=%v", a3, c3)
+	}
+	// Before gpu-crash-after nothing fires.
+	if a, c, r := in.LaneEvents(0, 4, 0b1111); a != 0b1111 || c != nil || r != nil {
+		t.Fatalf("period 0 fired: alive=%b crashed=%v recovered=%v", a, c, r)
+	}
+	// A single lane never rolls.
+	if a, c, r := in.LaneEvents(5, 1, 0b1); a != 0b1 || c != nil || r != nil {
+		t.Fatal("single-lane server rolled a crash")
+	}
+
+	// gpu-crash-max caps the simultaneously dead count.
+	capped := Config{Seed: 5, GPUCrash: 1, GPUCrashMax: 2}
+	inc := New(&capped)
+	alive, crashed, _ = inc.LaneEvents(1, 4, 0b1111)
+	if len(crashed) != 2 {
+		t.Fatalf("cap 2: %d lanes crashed (%v)", len(crashed), crashed)
+	}
+	if a, c, _ := inc.LaneEvents(2, 4, alive); len(c) != 0 || a != alive {
+		t.Fatalf("cap 2 exceeded at next boundary: crashed %v", c)
+	}
+
+	// Certain recovery: dead lanes return before the crash pass rolls.
+	rec := Config{Seed: 5, GPUCrash: 1, GPURecover: 1, GPUCrashMax: 1}
+	inr := New(&rec)
+	alive, crashed, _ = inr.LaneEvents(1, 2, 0b11)
+	if len(crashed) != 1 {
+		t.Fatalf("first boundary: crashed %v", crashed)
+	}
+	deadLane := crashed[0]
+	_, _, recovered = inr.LaneEvents(2, 2, alive)
+	if len(recovered) != 1 || recovered[0] != deadLane {
+		t.Fatalf("dead lane %d did not recover: recovered=%v", deadLane, recovered)
 	}
 }
 

@@ -492,6 +492,22 @@ func (m *Manager) Release(id ContentID) bool {
 	return true
 }
 
+// FlushAll drops every resident content at once — GPU, pinned, and
+// pageable — and returns how many entries and how many bytes were
+// lost. It models a lane crash: device memory on a failed GPU is gone,
+// so everything the manager tracked must be treated as cold. Transfer
+// statistics and reuse-time accumulators survive (they describe the
+// past, which the crash cannot unhappen); only residency is cleared.
+// After a flush the manager is immediately reusable, e.g. for the lane
+// the app fails over to.
+func (m *Manager) FlushAll() (entries int, bytes int64) {
+	for _, e := range m.entries {
+		bytes += e.content.Bytes
+	}
+	entries = m.ReleaseMatching(func(ContentID) bool { return true })
+	return entries, bytes
+}
+
 // ReleaseMatching drops every content whose ID satisfies pred and
 // returns how many were dropped.
 func (m *Manager) ReleaseMatching(pred func(ContentID) bool) int {

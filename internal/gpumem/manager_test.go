@@ -333,6 +333,44 @@ func TestRelease(t *testing.T) {
 	}
 }
 
+func TestFlushAllModelsLaneCrash(t *testing.T) {
+	m := NewManager(Config{GPUBytes: 10 * mb})
+	a := Access{Content: paramContent("a", "m", 0, 3*mb), Phase: PhaseInference, Model: "m"}
+	b := Access{Content: intermediateContent("a", "m", 1, 1, 4*mb), Phase: PhaseInference, Model: "m"}
+	if _, err := m.Acquire(ms(0), []Access{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := m.Stats()
+	n, bytes := m.FlushAll()
+	if n != 2 || bytes != 7*mb {
+		t.Fatalf("FlushAll = (%d, %d), want (2, %d)", n, bytes, 7*mb)
+	}
+	if m.GPUUsed() != 0 || m.PinUsed() != 0 {
+		t.Fatalf("residency survives crash: gpu=%d pin=%d", m.GPUUsed(), m.PinUsed())
+	}
+	if m.Resident(a.Content.ID) || m.Resident(b.Content.ID) {
+		t.Fatal("content still resident after FlushAll")
+	}
+	if m.Stats() != statsBefore {
+		t.Fatalf("crash rewrote history: %+v != %+v", m.Stats(), statsBefore)
+	}
+	if n, bytes = m.FlushAll(); n != 0 || bytes != 0 {
+		t.Fatalf("second FlushAll = (%d, %d), want (0, 0)", n, bytes)
+	}
+	// The manager stays usable for the failover lane: the flushed
+	// parameter reloads cold, paying transfer again.
+	d, err := m.Acquire(ms(10), []Access{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("reload after crash was free; residency leaked")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStringers(t *testing.T) {
 	id := ContentID{App: "a", Model: "m", Layer: 3, Kind: KindParam}
 	if got := id.String(); !strings.Contains(got, "param") {

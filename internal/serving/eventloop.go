@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"adainf/internal/admit"
 	"adainf/internal/audit"
 	"adainf/internal/cluster"
 	"adainf/internal/eventsim"
@@ -112,6 +113,26 @@ type runLoop struct {
 	// join the pending retrains in the session GPU-share computation.
 	faultBusy []busyWindow
 
+	// Lane-liveness and admission state (gpu-crash faults on a sharded
+	// server; admitCap is nil otherwise and every path below stays
+	// byte-identical to a build without lane faults). alive is the
+	// current liveness mask, maskDirty forces a failover re-pack at the
+	// boundary that changed it, unplacedIdx lists the state indexes the
+	// re-pack could not fit on any surviving lane (ascending), and the
+	// admit* slices carry the period's SLO-feasibility gate decisions:
+	// per-app per-session request caps (-1 = uncapped), the admitted GPU
+	// fraction, the degraded-serving flag (smallest structures, no
+	// retraining slice), suspended whole-pool retraining, and the packed
+	// words extending the fast-forward key.
+	alive          uint64
+	maskDirty      bool
+	unplacedIdx    []int
+	admitCap       []int
+	admitFrac      []float64
+	admitDegraded  []bool
+	suspendRetrain []bool
+	admitWords     []uint64
+
 	// aud, when non-nil, validates every event against the invariant
 	// catalog (see internal/audit). It is read-only: it never touches
 	// the RNG or simulation state, so metrics stay bit-identical.
@@ -149,6 +170,7 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 	}
 	if cfg.NGPUs > 1 {
 		l.topo = cluster.Topology{NGPUs: cfg.NGPUs, PerGPUBytes: gpu.V100().MemBytes}
+		l.alive = cluster.AllAlive(cfg.NGPUs)
 		l.appNames = make([]string, len(states))
 		l.appIdx = make(map[string]int, len(states))
 		l.wsBytes = make([]int64, len(states))
@@ -184,6 +206,16 @@ func newRunLoop(cfg *Config, states []*appState, rec *metrics.Recorder, res *Res
 	}
 	if l.flt = faults.New(cfg.Faults); l.flt != nil {
 		l.faultWords = make([]uint64, len(states))
+		if cfg.NGPUs > 1 && l.flt.Config().GPUCrash > 0 {
+			l.admitCap = make([]int, len(states))
+			l.admitFrac = make([]float64, len(states))
+			l.admitDegraded = make([]bool, len(states))
+			l.suspendRetrain = make([]bool, len(states))
+			l.admitWords = make([]uint64, len(states))
+			for i := range l.admitCap {
+				l.admitCap[i] = -1
+			}
+		}
 	}
 	if cfg.Audit || cfg.AuditReport != nil {
 		l.aud = audit.New(cfg.AuditReport, audit.Params{
@@ -409,7 +441,15 @@ func (l *runLoop) periodStart(period int) {
 	}
 
 	if l.topo.NGPUs > 1 {
+		l.laneEvents(period, start)
+		if l.err != nil {
+			return
+		}
 		l.placeApps(period, start, n)
+		if l.err != nil {
+			return
+		}
+		l.admitPeriod(period, start, n)
 		if l.err != nil {
 			return
 		}
@@ -473,6 +513,13 @@ func (l *runLoop) periodStart(period int) {
 		windowEnd := cfg.Clock.SessionStart(last)
 		for i := range pplan.Retrains {
 			r := pplan.Retrains[i]
+			if l.suspendRetrain != nil && l.suspendRetrain[l.appIdx[r.App]] {
+				// The admission gate suspended this app's retraining: the
+				// job never starts, charges no GPU time, and the stale
+				// model keeps serving (the abandoned-job mechanics).
+				l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: r, abandoned: true})
+				continue
+			}
 			abandoned := false
 			if l.flt != nil && r.Busy > 0 && r.GPUFraction > 0 {
 				fate := l.flt.RetrainFate(period, i, r.App, r.Node, r.Completion, r.Busy, windowEnd)
@@ -490,6 +537,12 @@ func (l *runLoop) periodStart(period int) {
 					l.tel.RetrainFault(at.Completion, r.App, r.Node, "retrain-fail", ai)
 					l.rec.RecordBusy(at.Start, at.Completion, r.GPUFraction)
 					lane := l.laneOfApp(r.App)
+					if l.aud != nil && l.admitCap != nil {
+						if err := l.aud.OnRetrainCharge(r.App, lane); err != nil {
+							l.fail(err)
+							return
+						}
+					}
 					if l.gpuBusySec != nil {
 						l.gpuBusySec[lane] += r.GPUFraction * at.Completion.Sub(at.Start).Seconds()
 						l.tel.GPUBusy(lane, at.Completion.Sub(at.Start), r.GPUFraction)
@@ -517,6 +570,12 @@ func (l *runLoop) periodStart(period int) {
 			l.retrains = append(l.retrains, pendingRetrain{PeriodRetrain: r, abandoned: abandoned})
 			if !abandoned && r.GPUFraction > 0 && r.Busy > 0 {
 				l.rec.RecordBusy(r.Completion.Add(-r.Busy), r.Completion, r.GPUFraction)
+				if l.aud != nil && l.admitCap != nil {
+					if err := l.aud.OnRetrainCharge(r.App, l.laneOfApp(r.App)); err != nil {
+						l.fail(err)
+						return
+					}
+				}
 				if l.gpuBusySec != nil {
 					lane := l.laneOfApp(r.App)
 					l.gpuBusySec[lane] += r.GPUFraction * r.Busy.Seconds()
@@ -573,11 +632,45 @@ func (l *runLoop) periodStart(period int) {
 	l.scheduleNextWork(first - 1)
 }
 
+// laneEvents evolves the lane-liveness mask at a period boundary:
+// crash and recovery decisions are pure hashes of the fault seed and
+// (period, lane), so the mask's trajectory — and everything downstream
+// of it — is identical across repeats, planner parallelism, and
+// fast-forward. A change arms the failover re-pack placeApps performs
+// before any session plans against the new mask.
+func (l *runLoop) laneEvents(period int, start simtime.Instant) {
+	if l.admitCap == nil {
+		return
+	}
+	alive, crashed, recovered := l.flt.LaneEvents(period, l.topo.NGPUs, l.alive)
+	if l.aud != nil {
+		if err := l.aud.OnLaneEvents(period, l.topo.NGPUs, alive, crashed, recovered); err != nil {
+			l.fail(err)
+			return
+		}
+	}
+	for _, g := range recovered {
+		l.res.FaultGPURecoveries++
+		l.tel.GPURecover(start, period, g, alive)
+	}
+	for _, g := range crashed {
+		l.res.FaultGPUCrashes++
+		l.tel.GPUCrash(start, period, g, alive)
+	}
+	if alive != l.alive {
+		l.alive = alive
+		l.maskDirty = true
+	}
+}
+
 // placeApps recomputes the app→GPU placement at a period boundary.
 // Apps are ranked by the period's predicted load; the placement only
 // changes when the ranking does (or an app's working set would — those
-// are fixed for the run), so steady workloads keep a stable placement
-// and the fast-forward memo keys stay repeatable across periods.
+// are fixed for the run) or a lane-liveness change forces a failover
+// re-pack, so steady workloads keep a stable placement and the
+// fast-forward memo keys stay repeatable across periods. With a dead
+// lane the pack runs over the surviving lanes only; apps that fit
+// nowhere are left unplaced for the admission gate to shed.
 func (l *runLoop) placeApps(period int, start simtime.Instant, n int) {
 	for i := range l.states {
 		sum := 0
@@ -587,14 +680,23 @@ func (l *runLoop) placeApps(period int, start simtime.Instant, n int) {
 		l.loadBuf[i] = float64(sum)
 	}
 	ranks := cluster.RankLoads(l.appNames, l.loadBuf)
-	if l.place != nil && cluster.RanksEqual(ranks, l.lastRanks) {
+	if l.place != nil && !l.maskDirty && cluster.RanksEqual(ranks, l.lastRanks) {
 		return
 	}
+	forced := l.maskDirty
+	l.maskDirty = false
 	apps := make([]cluster.AppLoad, len(l.states))
 	for i, name := range l.appNames {
 		apps[i] = cluster.AppLoad{Name: name, WorkingSetBytes: l.wsBytes[i], LoadRank: ranks[i]}
 	}
-	pl, err := cluster.Place(l.topo, apps)
+	var pl *cluster.Placement
+	var unplaced []cluster.AppLoad
+	var err error
+	if l.alive == 0 || l.alive == cluster.AllAlive(l.topo.NGPUs) {
+		pl, err = cluster.Place(l.topo, apps)
+	} else {
+		pl, unplaced, err = cluster.Replace(l.topo, l.alive, apps)
+	}
 	if err != nil {
 		l.fail(err)
 		return
@@ -604,10 +706,32 @@ func (l *runLoop) placeApps(period int, start simtime.Instant, n int) {
 	for g := range l.laneApps {
 		l.laneApps[g] = l.laneApps[g][:0]
 	}
+	l.unplacedIdx = l.unplacedIdx[:0]
+	var unplacedNames []string
+	if len(unplaced) > 0 {
+		skip := make(map[string]bool, len(unplaced))
+		for _, a := range unplaced {
+			skip[a.Name] = true
+			unplacedNames = append(unplacedNames, a.Name)
+		}
+		for i, name := range l.appNames {
+			if skip[name] {
+				l.laneOf[i] = -1
+				l.unplacedIdx = append(l.unplacedIdx, i)
+			}
+		}
+	}
 	for i, name := range l.appNames {
-		g, _ := pl.GPU(name)
+		g, ok := pl.GPU(name)
+		if !ok {
+			continue // unplaced; indexed above
+		}
 		l.laneOf[i] = g
 		l.laneApps[g] = append(l.laneApps[g], i)
+	}
+	if forced {
+		l.res.FaultReplacements++
+		l.tel.Replace(start, period, pl.Topology().AliveMask(), pl.Len(), len(unplaced))
 	}
 	if l.tel.Tracing() {
 		for i, name := range l.appNames {
@@ -615,9 +739,132 @@ func (l *runLoop) placeApps(period int, start simtime.Instant, n int) {
 		}
 	}
 	if l.aud != nil {
-		if err := l.aud.OnPlacement(period, pl, l.appNames); err != nil {
+		if err := l.aud.OnReplace(period, pl, l.appNames, unplacedNames); err != nil {
 			l.fail(err)
 		}
+	}
+}
+
+// admitPeriod runs the SLO-feasibility gate after a (possibly
+// degraded) placement: per surviving lane it asks whether the lane's
+// GPU amount can serve every placed application's predicted peak
+// session load at its smallest profiled structures within SLO.
+// Infeasible lanes enter the degraded-admission state — retraining
+// suspended, smallest structures at the admitted fraction, per-app
+// request caps with the excess shed in rank order — and unplaced
+// applications shed everything. The gate runs every period while any
+// lane is down (its inputs are the period's predictions, so decisions
+// are deterministic and constant within the period).
+func (l *runLoop) admitPeriod(period int, start simtime.Instant, n int) {
+	if l.admitCap == nil {
+		return
+	}
+	for i := range l.admitCap {
+		l.admitCap[i] = -1
+		l.admitFrac[i] = 0
+		l.admitDegraded[i] = false
+		l.suspendRetrain[i] = false
+		l.admitWords[i] = 0
+	}
+	if l.alive == cluster.AllAlive(l.topo.NGPUs) && len(l.unplacedIdx) == 0 {
+		return
+	}
+	cfg := l.cfg
+	var unplacedNames []string
+	for _, i := range l.unplacedIdx {
+		l.admitCap[i] = 0
+		l.admitDegraded[i] = true
+		l.suspendRetrain[i] = true
+		unplacedNames = append(unplacedNames, l.appNames[i])
+	}
+	laneAmount := cfg.GPUs / float64(cfg.NGPUs)
+	var audLanes []audit.AdmitLane
+	for g := 0; g < l.topo.NGPUs; g++ {
+		if l.alive&(1<<uint(g)) == 0 || len(l.laneApps[g]) == 0 {
+			continue
+		}
+		apps := make([]admit.App, 0, len(l.laneApps[g]))
+		for _, i := range l.laneApps[g] {
+			st := l.states[i]
+			peak := 0
+			for s := 0; s < n; s++ {
+				if l.predicted[i][s] > peak {
+					peak = l.predicted[i][s]
+				}
+			}
+			apps = append(apps, admit.App{
+				Name:     st.inst.App.Name,
+				Rank:     l.lastRanks[i],
+				Requests: peak,
+				SLO:      st.inst.App.SLO,
+				Latency:  l.smallestLatency(st),
+			})
+		}
+		out, err := admit.Evaluate(laneAmount, apps)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		l.tel.Admit(start, period, g, out.Feasible, out.TotalFraction(), out.TotalShed())
+		if !out.Feasible {
+			for di := range out.Decisions {
+				d := &out.Decisions[di]
+				i := l.appIdx[d.Name]
+				l.admitCap[i] = d.Admitted
+				l.admitFrac[i] = d.Fraction
+				l.admitDegraded[i] = true
+				l.suspendRetrain[i] = true
+			}
+		}
+		if l.aud != nil {
+			o := out
+			audLanes = append(audLanes, audit.AdmitLane{Lane: g, Outcome: &o})
+		}
+	}
+	if l.aud != nil {
+		if err := l.aud.OnAdmission(period, laneAmount, audLanes, unplacedNames); err != nil {
+			l.fail(err)
+			return
+		}
+	}
+	for i := range l.admitCap {
+		if l.suspendRetrain[i] {
+			l.res.FaultSuspendedRetrainPeriods++
+		}
+		w := uint64(l.admitCap[i]+1) << 1
+		if l.admitDegraded[i] {
+			w |= 1
+		}
+		l.admitWords[i] = w
+	}
+}
+
+// smallestLatency builds the admission gate's latency probe for one
+// app: the session latency of serving n requests at GPU fraction f
+// with every node at its smallest profiled structure — exactly the
+// degraded-admission serving configuration runJob executes.
+func (l *runLoop) smallestLatency(st *appState) func(int, float64) (simtime.Duration, error) {
+	return func(n int, f float64) (simtime.Duration, error) {
+		batch := fallbackBatch(n)
+		nBatches := (n + batch - 1) / batch
+		var total simtime.Duration
+		for _, np := range st.degradedNodes {
+			ti, ok := st.tableIdx[np.Node]
+			if !ok {
+				return 0, fmt.Errorf("serving: no latency table for node %q of %q", np.Node, st.inst.App.Name)
+			}
+			tb := st.costs.Tables()[ti]
+			si, err := tb.StructIdx(np.Structure)
+			if err != nil {
+				return 0, err
+			}
+			per, err := st.costs.PerBatch(ti, si, tb.BatchIdx(batch), f)
+			if err != nil {
+				return 0, err
+			}
+			total += per * simtime.Duration(nBatches)
+		}
+		return total, nil
 	}
 }
 
@@ -950,7 +1197,7 @@ func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
 	var key []byte
 	capture := false
 	if l.ff != nil {
-		key = l.ff.laneKey(l.place.Digest(), l.laneShare, l.predicted, l.actual, si, l.states, l.faultWords)
+		key = l.ff.laneKey(l.place.Digest(), l.alive, l.laneShare, l.predicted, l.actual, si, l.states, l.faultWords, l.admitWords)
 		m, c := l.ff.lookup(key)
 		l.tel.FF(m != nil)
 		if m != nil {
@@ -966,6 +1213,16 @@ func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
 	}
 	mutated := false
 	var sessionMakespan simtime.Duration
+	// Apps the failover re-pack could not place shed every arrival:
+	// no lane can hold their working set until one recovers.
+	for _, i := range l.unplacedIdx {
+		if a := l.actual[i][si]; a > 0 {
+			l.shedRequests(start, sess, l.states[i], a, memo)
+			if l.err != nil {
+				return
+			}
+		}
+	}
 	for g := range l.laneApps {
 		apps := l.laneApps[g]
 		if len(apps) == 0 {
@@ -1014,17 +1271,51 @@ func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
 		}
 		l.curLane = g
 		for li, i := range apps {
-			if l.actual[i][si] == 0 {
+			actual := l.actual[i][si]
+			if actual == 0 {
 				continue
 			}
 			st := l.states[i]
+			served, shed := actual, 0
+			if l.admitCap != nil {
+				if cap := l.admitCap[i]; cap >= 0 && actual > cap {
+					served, shed = cap, actual-cap
+				}
+			}
+			if shed > 0 {
+				// Degraded admission: the excess over the gate's cap is
+				// shed (recorded missed, so conservation closes) before
+				// the admitted remainder is served.
+				l.shedRequests(start, sess, st, shed, memo)
+				if l.err != nil {
+					return
+				}
+			}
+			if served == 0 {
+				continue
+			}
 			jp := jobPlanFor(plan, st.inst.App.Name)
 			var degraded sched.JobPlan
-			if l.flt != nil && l.faultWords[i]&1 != 0 {
+			if l.admitDegraded != nil && l.admitDegraded[i] {
+				// Degraded admission serves at the smallest profiled
+				// structures, within the fraction the gate admitted, with
+				// no retraining slice.
+				frac := l.admitFrac[i]
+				if frac < 0.02 {
+					frac = 0.02
+				}
+				degraded = sched.JobPlan{
+					App:      st.inst.App.Name,
+					Fraction: frac,
+					Batch:    fallbackBatch(served),
+					Nodes:    st.degradedNodes,
+				}
+				jp = &degraded
+			} else if l.flt != nil && l.faultWords[i]&1 != 0 {
 				degraded = sched.JobPlan{
 					App:      st.inst.App.Name,
 					Fraction: 0.02,
-					Batch:    fallbackBatch(l.actual[i][si]),
+					Batch:    fallbackBatch(actual),
 					Nodes:    st.degradedNodes,
 				}
 				if jp != nil && jp.Fraction > 0 && jp.Batch > 0 {
@@ -1038,13 +1329,13 @@ func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
 				}
 				jp = &degraded
 			}
-			dur, mut, err := l.runJob(st, jp, plan.Overhead, start, l.actual[i][si], memo)
+			dur, mut, err := l.runJob(st, jp, plan.Overhead, start, served, memo)
 			if err != nil {
 				l.fail(err)
 				return
 			}
 			if l.aud != nil {
-				if err := l.aud.OnServed(st.inst.App.Name, l.actual[i][si], dur <= st.inst.App.SLO); err != nil {
+				if err := l.aud.OnServed(st.inst.App.Name, served, dur <= st.inst.App.SLO); err != nil {
 					l.fail(err)
 					return
 				}
@@ -1067,6 +1358,35 @@ func (l *runLoop) laneSession(sess int, start simtime.Instant, si int) {
 	}
 }
 
+// shedRequests records n requests of one app shed by the admission
+// gate: counted as SLO-missed (request conservation still closes),
+// never scored (nothing was served, so no prediction draws — the RNG
+// stream is untouched), traced, audited, and captured into the session
+// memo (when one is being built) so a fast-forward replay re-sheds
+// identically.
+func (l *runLoop) shedRequests(start simtime.Instant, sess int, st *appState, n int, memo *sessionMemo) {
+	name := st.inst.App.Name
+	if l.aud != nil {
+		if err := l.aud.OnShed(sess, name, n); err != nil {
+			l.fail(err)
+			return
+		}
+		if err := l.aud.OnServed(name, n, false); err != nil {
+			l.fail(err)
+			return
+		}
+	}
+	l.tel.Shed(start, sess, name, n)
+	for r := 0; r < n; r++ {
+		l.rec.RecordRequest(start, false)
+		l.res.Requests++
+	}
+	l.res.FaultShedRequests += n
+	if memo != nil {
+		memo.jobs = append(memo.jobs, ffJob{st: st, shed: n})
+	}
+}
+
 // replay re-emits a memoized session's outcome. The recorder calls and
 // RNG draws are issued in exactly the order the full execution issued
 // them; only the per-request random draws run live, keeping the shared
@@ -1080,6 +1400,15 @@ func (l *runLoop) replay(m *sessionMemo, start simtime.Instant, sess int) {
 	}
 	for i := range m.jobs {
 		j := &m.jobs[i]
+		if j.shed > 0 {
+			// A shed record: re-emit it exactly as the execution did
+			// (shed entries precede the same app's served job, if any).
+			l.shedRequests(start, sess, j.st, j.shed, nil)
+			if l.err != nil {
+				return
+			}
+			continue
+		}
 		if l.aud != nil {
 			if err := l.aud.OnServed(j.st.inst.App.Name, j.actual, j.met); err != nil {
 				l.fail(err)

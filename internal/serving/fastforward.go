@@ -37,10 +37,13 @@ type sessionMemo struct {
 
 // ffJob is one executed job's outcome: everything runJob fed the
 // recorder, minus the per-request RNG draws, which replay live to keep
-// the shared RNG stream identical.
+// the shared RNG stream identical. An entry with shed > 0 is a
+// shed-only record — no job ran; replay re-sheds the requests at the
+// same point in the session's emission order.
 type ffJob struct {
 	st         *appState
 	lane       int
+	shed       int
 	actual     int
 	fraction   float64
 	lead       simtime.Duration
@@ -89,10 +92,15 @@ func (f *fastForward) sessionKey(share float64, predicted, actual [][]int, si in
 // laneKey is sessionKey for a sharded server: the placement digest and
 // every lane's quantized share replace the single global share. A
 // replay can therefore only match an execution that ran under the same
-// app→GPU assignment and the same per-lane compute splits.
-func (f *fastForward) laneKey(placement uint64, shares []float64, predicted, actual [][]int, si int, states []*appState, faultWords []uint64) []byte {
+// app→GPU assignment and the same per-lane compute splits. alive is
+// the lane-liveness mask and admitWords the per-app admission-gate
+// decisions (nil without gpu-crash faults, adding no key bytes): a
+// degraded session can only replay an execution that ran under the
+// identical mask and admission state.
+func (f *fastForward) laneKey(placement, alive uint64, shares []float64, predicted, actual [][]int, si int, states []*appState, faultWords, admitWords []uint64) []byte {
 	b := f.buf[:0]
 	b = appendU64(b, placement)
+	b = appendU64(b, alive)
 	for _, s := range shares {
 		b = appendU64(b, math.Float64bits(s))
 	}
@@ -102,6 +110,9 @@ func (f *fastForward) laneKey(placement uint64, shares []float64, predicted, act
 		b = appendU64(b, st.digest())
 	}
 	for _, w := range faultWords {
+		b = appendU64(b, w)
+	}
+	for _, w := range admitWords {
 		b = appendU64(b, w)
 	}
 	f.buf = b

@@ -261,6 +261,17 @@ type Result struct {
 	FaultDegradedJobs      int // jobs degraded to smallest structures by a memory fault
 	FaultBursts            int // arrival-burst windows injected
 	FaultDriftSpikes       int // period-boundary distribution shocks injected
+
+	// GPU lane failure accounting (Config.Faults with gpu-crash set and
+	// NGPUs > 1; all zero otherwise). Like the fault counters above they
+	// are pure functions of the fault seed and the workload.
+	FaultGPUCrashes    int // lane-crash events fired at period boundaries
+	FaultGPURecoveries int // dead lanes brought back at period boundaries
+	FaultReplacements  int // failover re-packs forced by a liveness change
+	FaultShedRequests  int // requests shed by degraded admission (counted missed)
+	// FaultSuspendedRetrainPeriods counts app-periods in which the
+	// admission gate suspended an application's whole-pool retraining.
+	FaultSuspendedRetrainPeriods int
 }
 
 // appState is the runtime bundle per application.

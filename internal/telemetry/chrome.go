@@ -34,6 +34,11 @@ var requiredFields = map[string][]string{
 	EvBurst:          {"period", "app", "first_session", "sessions", "factor"},
 	EvDriftSpike:     {"period", "app", "intensity"},
 	EvPlacement:      {"period", "app", "gpu", "ws_bytes", "load_rank"},
+	EvGPUCrash:       {"period", "gpu", "alive_mask"},
+	EvGPURecover:     {"period", "gpu", "alive_mask"},
+	EvReplace:        {"period", "alive_mask", "placed", "unplaced"},
+	EvAdmit:          {"period", "gpu", "feasible", "fraction", "shed"},
+	EvShed:           {"session", "app", "requests"},
 }
 
 // Validate reads a JSONL decision trace and checks every line against
@@ -186,6 +191,37 @@ func ExportChrome(r io.Reader, w io.Writer) error {
 				Name: fmt.Sprintf("degrade %s", app), Phase: "i", TS: ts,
 				PID: pidControl, TID: 4, Scope: "t",
 				Args: map[string]any{"session": m["session"]},
+			})
+		case EvGPUCrash:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("gpu %v crash", m["gpu"]), Phase: "i", TS: ts,
+				PID: pidControl, TID: 5, Scope: "g",
+				Args: map[string]any{"period": m["period"], "alive_mask": m["alive_mask"]},
+			})
+		case EvGPURecover:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("gpu %v recover", m["gpu"]), Phase: "i", TS: ts,
+				PID: pidControl, TID: 5, Scope: "g",
+				Args: map[string]any{"period": m["period"], "alive_mask": m["alive_mask"]},
+			})
+		case EvReplace:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "replace", Phase: "i", TS: ts, PID: pidControl, TID: 5, Scope: "t",
+				Args: map[string]any{"period": m["period"], "alive_mask": m["alive_mask"],
+					"placed": m["placed"], "unplaced": m["unplaced"]},
+			})
+		case EvAdmit:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("admit gpu %v", m["gpu"]), Phase: "i", TS: ts,
+				PID: pidControl, TID: 5, Scope: "t",
+				Args: map[string]any{"period": m["period"], "feasible": m["feasible"],
+					"fraction": m["fraction"], "shed": m["shed"]},
+			})
+		case EvShed:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("shed %s", app), Phase: "i", TS: ts,
+				PID: pidControl, TID: 5, Scope: "t",
+				Args: map[string]any{"session": m["session"], "requests": m["requests"]},
 			})
 		case EvEvict:
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{

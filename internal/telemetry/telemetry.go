@@ -37,6 +37,11 @@ const (
 	EvBurst          = "burst"                 // arrival burst injected: period, app, first_session, sessions, factor
 	EvDriftSpike     = "drift_spike"           // drift spike injected: period, app, intensity
 	EvPlacement      = "placement"             // app→GPU assignment (multi-GPU): period, app, gpu, ws_bytes, load_rank
+	EvGPUCrash       = "gpu_crash"             // injected lane crash: period, gpu, alive_mask
+	EvGPURecover     = "gpu_recover"           // injected lane recovery: period, gpu, alive_mask
+	EvReplace        = "replace"               // failover re-placement: period, alive_mask, placed, unplaced
+	EvAdmit          = "admit"                 // SLO-feasibility gate: period, gpu, feasible, fraction, shed
+	EvShed           = "shed"                  // requests shed under admission control: session, app, requests
 )
 
 // Options configures a Collector.
@@ -541,6 +546,75 @@ func (c *Collector) Placement(ts simtime.Instant, period int, app string, gpu in
 	c.fInt("gpu", int64(gpu))
 	c.fInt("ws_bytes", wsBytes)
 	c.fInt("load_rank", int64(loadRank))
+	c.end()
+}
+
+// GPUCrash emits one injected lane crash; aliveMask is the liveness
+// bitmask after the crash.
+func (c *Collector) GPUCrash(ts simtime.Instant, period, gpu int, aliveMask uint64) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvGPUCrash)
+	c.fInt("period", int64(period))
+	c.fInt("gpu", int64(gpu))
+	c.fInt("alive_mask", int64(aliveMask))
+	c.end()
+}
+
+// GPURecover emits one injected lane recovery; aliveMask is the
+// liveness bitmask after the recovery.
+func (c *Collector) GPURecover(ts simtime.Instant, period, gpu int, aliveMask uint64) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvGPURecover)
+	c.fInt("period", int64(period))
+	c.fInt("gpu", int64(gpu))
+	c.fInt("alive_mask", int64(aliveMask))
+	c.end()
+}
+
+// Replace emits one failover re-placement over the surviving lanes:
+// placed apps were re-packed, unplaced apps fit nowhere and enter the
+// degraded-admission state.
+func (c *Collector) Replace(ts simtime.Instant, period int, aliveMask uint64, placed, unplaced int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvReplace)
+	c.fInt("period", int64(period))
+	c.fInt("alive_mask", int64(aliveMask))
+	c.fInt("placed", int64(placed))
+	c.fInt("unplaced", int64(unplaced))
+	c.end()
+}
+
+// Admit emits one lane's SLO-feasibility gate outcome for a period:
+// fraction is the admitted capacity the plan consumes, shed the
+// predicted per-session requests dropped.
+func (c *Collector) Admit(ts simtime.Instant, period, gpu int, feasible bool, fraction float64, shed int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvAdmit)
+	c.fInt("period", int64(period))
+	c.fInt("gpu", int64(gpu))
+	c.fBool("feasible", feasible)
+	c.fFloat("fraction", fraction)
+	c.fInt("shed", int64(shed))
+	c.end()
+}
+
+// Shed emits requests dropped by admission control in one session.
+func (c *Collector) Shed(ts simtime.Instant, session int, app string, requests int) {
+	if c == nil || c.w == nil {
+		return
+	}
+	c.begin(ts, EvShed)
+	c.fInt("session", int64(session))
+	c.fStr("app", app)
+	c.fInt("requests", int64(requests))
 	c.end()
 }
 

@@ -146,6 +146,11 @@ func emitAll(c *Collector) {
 	c.Burst(ts, 2, "video-surveillance", 140, 200, 3)
 	c.DriftSpike(ts, 2, "video-surveillance", 0.5)
 	c.Placement(ts, 2, "video-surveillance", 1, 200<<20, 0)
+	c.GPUCrash(ts, 2, 1, 0b01)
+	c.GPURecover(ts, 3, 1, 0b11)
+	c.Replace(ts, 2, 0b01, 7, 1)
+	c.Admit(ts, 2, 0, false, 0.97, 140)
+	c.Shed(ts, 600, "social-media", 140)
 	c.EnableGPUCounters(2)
 	c.GPUBusy(0, 40*time.Millisecond, 0.5)
 	c.GPUBusy(1, 10*time.Millisecond, 1)

@@ -47,20 +47,24 @@ done
 # profiler, the event engine, the serving loop that consumes
 # scheduler plans (now also under fault injection), the fault
 # injector's pure-hash decisions, the cluster placer behind sharded
-# lanes, and the memory manager and auditor those runs exercise.
-# -short skips the multi-minute determinism sweeps; the full suite
-# above already runs them race-free.
-echo "== go test -race (experiments, serving, faults, profile, eventsim, core, sched, gpumem, audit, cluster) =="
-go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/faults/... ./internal/profile/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/... ./internal/cluster/...
+# lanes, the admission gate that sheds load after lane crashes, and
+# the memory manager and auditor those runs exercise. -short skips
+# the multi-minute determinism sweeps; the full suite above already
+# runs them race-free.
+echo "== go test -race (experiments, serving, faults, profile, eventsim, core, sched, gpumem, audit, cluster, admit) =="
+go test -race -short ./internal/experiments/... ./internal/serving/... ./internal/faults/... ./internal/profile/... ./internal/eventsim/... ./internal/core/... ./internal/sched/... ./internal/gpumem/... ./internal/audit/... ./internal/cluster/... ./internal/admit/...
 
 # Fuzz smoke: a few seconds per target catches regressions in the
 # properties the fuzz corpora pin (regression-fit robustness, profile
-# cache-key identity, fault-schedule decode/encode round trips). One
-# target per invocation, as go test requires.
+# cache-key identity, fault-schedule decode/encode round trips, and
+# the bin-packing invariants of the placer and its failover re-pack).
+# One target per invocation, as go test requires.
 echo "== fuzz smoke =="
 go test -run='^$' -fuzz=FuzzFitScaling -fuzztime=5s ./internal/mathx
 go test -run='^$' -fuzz=FuzzCacheKey -fuzztime=5s ./internal/profile
 go test -run='^$' -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/faults
+go test -run='^$' -fuzz=FuzzPlace -fuzztime=5s ./internal/cluster
+go test -run='^$' -fuzz=FuzzReplace -fuzztime=5s ./internal/cluster
 
 # Telemetry smoke: the no-op collector must stay allocation-free on
 # the serving hot path, and a traced run must emit a schema-valid
@@ -83,6 +87,13 @@ go run ./cmd/tracecheck -q -chrome "$tracedir/smoke.chrome.json" "$first"
 echo "== multi-GPU smoke =="
 go test ./internal/cliflags/
 go run ./cmd/repro -quick -horizon 100s -rate 80 -audit -gpus 2 fig18 >/dev/null
+
+# Failover smoke: two lanes with a certain crash at the first period
+# boundary, under the fail-fast auditor — the crash, the re-pack onto
+# the survivor, and the admission gate all run audited end to end.
+echo "== failover smoke =="
+go run ./cmd/repro -quick -horizon 100s -rate 80 -audit -gpus 2 \
+    -faults 'gpu-crash=1,gpu-crash-max=1,gpu-crash-after=1' -fault-seed 5 fig18 >/dev/null
 
 # Quick bench smoke: regenerate the three benchmark artifacts — the
 # serial planner plus the 4-worker variant — plus the cold-profiling
